@@ -1,0 +1,31 @@
+//! Ablation: compression as a substitute for cache capacity. A 4 MB L2
+//! with a ~1.6 ratio should behave between an uncompressed 4 MB and an
+//! uncompressed 8 MB cache — this sweep makes that sandwich visible.
+
+use cmpsim_bench::{sim_length, SEED};
+use cmpsim_core::experiment::run_variant;
+use cmpsim_core::report::Table;
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::workload;
+
+fn main() {
+    let len = sim_length();
+    let spec = workload("apache").expect("apache exists");
+    let mut t = Table::new(&["configuration", "L2 MPKI", "runtime (cycles)"]);
+    for (label, bytes, variant) in [
+        ("2 MB uncompressed", 2 * 1024 * 1024, Variant::Base),
+        ("4 MB uncompressed", 4 * 1024 * 1024, Variant::Base),
+        ("4 MB compressed", 4 * 1024 * 1024, Variant::CacheCompression),
+        ("8 MB uncompressed", 8 * 1024 * 1024, Variant::Base),
+    ] {
+        let mut base = SystemConfig::paper_default(8).with_seed(SEED);
+        base.l2_bytes = bytes;
+        let r = run_variant(&spec, &base, variant, len);
+        t.row(&[
+            label.into(),
+            format!("{:.2}", r.stats.l2.mpki(r.stats.instructions)),
+            r.runtime().to_string(),
+        ]);
+    }
+    t.print("Ablation: apache across L2 capacities vs 4 MB compressed");
+}

@@ -1,0 +1,26 @@
+//! Ablation: the L2 startup-prefetch degree (Table 1 fixes it at 25).
+//! jbb's pathology scales with the burst size; zeus's benefit saturates.
+
+use cmpsim_bench::{sim_length, SEED};
+use cmpsim_core::experiment::run_variant;
+use cmpsim_core::report::{pct, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::workload;
+
+fn main() {
+    let len = sim_length();
+    let mut t = Table::new(&["L2 degree", "zeus pf", "jbb pf"]);
+    for degree in [4u8, 12, 25, 50] {
+        let mut cells = vec![degree.to_string()];
+        for name in ["zeus", "jbb"] {
+            let spec = workload(name).expect("known workload");
+            let mut base = SystemConfig::paper_default(8).with_seed(SEED);
+            base.l2_prefetch_degree = degree;
+            let b = run_variant(&spec, &base, Variant::Base, len);
+            let p = run_variant(&spec, &base, Variant::Prefetch, len);
+            cells.push(pct((b.runtime() as f64 / p.runtime() as f64 - 1.0) * 100.0));
+        }
+        t.row(&cells);
+    }
+    t.print("Ablation: prefetching speedup vs L2 startup degree");
+}

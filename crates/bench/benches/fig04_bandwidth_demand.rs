@@ -1,0 +1,39 @@
+//! Figure 4: pin bandwidth demand (GB/s) with no compression, cache
+//! compression only, link compression only, and both — measured on an
+//! infinite-bandwidth link per EQ 1.
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::run_variant;
+use cmpsim_core::report::{gbps, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_link::LinkBandwidth;
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(8)
+        .with_seed(SEED)
+        .with_link(LinkBandwidth::Infinite);
+    let len = sim_length();
+    let mut t =
+        Table::new(&["bench", "none", "cache", "link", "both", "none (paper)"]);
+    for spec in all_workloads() {
+        let row: Vec<f64> = [
+            Variant::Base,
+            Variant::CacheCompression,
+            Variant::LinkCompression,
+            Variant::BothCompression,
+        ]
+        .iter()
+        .map(|&v| run_variant(&spec, &base, v, len).bandwidth_gbps())
+        .collect();
+        t.row(&[
+            spec.name.into(),
+            gbps(row[0]),
+            gbps(row[1]),
+            gbps(row[2]),
+            gbps(row[3]),
+            gbps(paper::lookup(&paper::BANDWIDTH_DEMAND, spec.name)),
+        ]);
+    }
+    t.print("Figure 4: pin bandwidth demand (GB/s)");
+}

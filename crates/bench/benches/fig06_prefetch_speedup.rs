@@ -1,0 +1,32 @@
+//! Figure 6: speedup of base stride prefetching and adaptive prefetching
+//! relative to no prefetching.
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::VariantGrid;
+use cmpsim_core::report::{pct, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    let len = sim_length();
+    let mut t = Table::new(&[
+        "bench", "pf", "adaptive-pf", "pf (paper)", "adaptive-pf (paper)",
+    ]);
+    for spec in all_workloads() {
+        let grid = VariantGrid::run(
+            &spec,
+            &base,
+            &[Variant::Base, Variant::Prefetch, Variant::AdaptivePrefetch],
+            len,
+        );
+        t.row(&[
+            spec.name.into(),
+            pct(grid.speedup_pct(Variant::Prefetch)),
+            pct(grid.speedup_pct(Variant::AdaptivePrefetch)),
+            pct(paper::lookup(&paper::SPEEDUP_PF, spec.name)),
+            pct(paper::lookup(&paper::SPEEDUP_ADAPTIVE_PF, spec.name)),
+        ]);
+    }
+    t.print("Figure 6: prefetching speedup (%)");
+}

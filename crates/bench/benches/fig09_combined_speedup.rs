@@ -1,0 +1,32 @@
+//! Figure 9: speedups of prefetching, compression, and both combined,
+//! relative to the base system, for every benchmark.
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::VariantGrid;
+use cmpsim_core::report::{pct, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    let len = sim_length();
+    let mut t = Table::new(&["bench", "pf", "compr", "pf+compr", "pf(paper)", "compr(paper)", "pf+compr(paper)"]);
+    for spec in all_workloads() {
+        let grid = VariantGrid::run(
+            &spec,
+            &base,
+            &[Variant::Base, Variant::Prefetch, Variant::BothCompression, Variant::PrefetchCompression],
+            len,
+        );
+        t.row(&[
+            spec.name.into(),
+            pct(grid.speedup_pct(Variant::Prefetch)),
+            pct(grid.speedup_pct(Variant::BothCompression)),
+            pct(grid.speedup_pct(Variant::PrefetchCompression)),
+            pct(paper::lookup(&paper::SPEEDUP_PF, spec.name)),
+            pct(paper::lookup(&paper::SPEEDUP_COMPR, spec.name)),
+            pct(paper::lookup(&paper::SPEEDUP_PF_COMPR, spec.name)),
+        ]);
+    }
+    t.print("Figure 9: speedup of prefetching and compression");
+}

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: FPC codec throughput, VSC cache
+//! operations, and end-to-end simulator rate.
+
+use cmpsim_cache::{BlockAddr, VscCache, VscConfig};
+use cmpsim_core::{System, SystemConfig, Variant};
+use cmpsim_fpc::{compress, compressed_segments, LINE_BYTES};
+use cmpsim_trace::workload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn line_with_mix(seed: u8) -> [u8; LINE_BYTES] {
+    let mut line = [0u8; LINE_BYTES];
+    for (i, chunk) in line.chunks_exact_mut(4).enumerate() {
+        let w: u32 = match (i + seed as usize) % 4 {
+            0 => 0,
+            1 => (i as u32).wrapping_mul(7),
+            2 => 0x1234_0000 + i as u32,
+            _ => 0xDEAD_BEEF ^ (i as u32) << 13,
+        };
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    line
+}
+
+fn bench_fpc(c: &mut Criterion) {
+    let lines: Vec<[u8; LINE_BYTES]> = (0..64).map(|i| line_with_mix(i)).collect();
+    let mut g = c.benchmark_group("fpc");
+    g.throughput(Throughput::Bytes((lines.len() * LINE_BYTES) as u64));
+    g.bench_function("compress_64_lines", |b| {
+        b.iter(|| {
+            lines.iter().map(|l| u32::from(compressed_segments(l))).sum::<u32>()
+        })
+    });
+    g.bench_function("roundtrip_64_lines", |b| {
+        b.iter(|| {
+            lines
+                .iter()
+                .map(|l| compress(l).decompress()[0] as u32)
+                .sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_vsc(c: &mut Criterion) {
+    c.bench_function("vsc_fill_lookup_4k_ops", |b| {
+        b.iter(|| {
+            let mut cache: VscCache<u32> = VscCache::new(VscConfig {
+                sets: 64,
+                tags_per_set: 8,
+                segments_per_set: 32,
+            });
+            let mut acc = 0u64;
+            for i in 0..4096u64 {
+                cache.fill(BlockAddr(i * 17 % 1024), 1 + (i % 8) as u8, false, 0);
+                acc += u64::from(cache.lookup(BlockAddr(i % 1024)).is_hit());
+            }
+            acc
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = workload("zeus").expect("zeus exists");
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("zeus_8core_100k_instr", |b| {
+        b.iter(|| {
+            let cfg = Variant::PrefetchCompression.apply(SystemConfig::paper_default(8));
+            let mut sys = System::new(cfg, &spec);
+            sys.run(20_000, 100_000).runtime()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fpc, bench_vsc, bench_sim);
+criterion_main!(benches);

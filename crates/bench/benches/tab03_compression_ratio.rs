@@ -1,0 +1,23 @@
+//! Table 3: L2 cache compression ratio per benchmark (average effective
+//! cache size relative to the uncompressed 4 MB L2).
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::run_variant;
+use cmpsim_core::report::{ratio, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    let len = sim_length();
+    let mut t = Table::new(&["bench", "ratio", "ratio (paper)"]);
+    for spec in all_workloads() {
+        let r = run_variant(&spec, &base, Variant::CacheCompression, len);
+        t.row(&[
+            spec.name.into(),
+            ratio(r.stats.compression_ratio()),
+            ratio(paper::lookup(&paper::COMPRESSION_RATIO, spec.name)),
+        ]);
+    }
+    t.print("Table 3: L2 compression ratio");
+}

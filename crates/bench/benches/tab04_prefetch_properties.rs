@@ -1,0 +1,57 @@
+//! Table 4: prefetch rate (per 1k instructions), coverage (%) and
+//! accuracy (%) for the L1I, L1D and L2 prefetchers of every benchmark,
+//! side by side with the paper's published values.
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::run_variant;
+use cmpsim_core::report::Table;
+use cmpsim_core::{LevelStats, SystemConfig, Variant};
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    let len = sim_length();
+    let headers = [
+        "bench", "L1I rate", "cov%", "acc%", "L1D rate", "cov%", "acc%", "L2 rate", "cov%",
+        "acc%",
+    ];
+    let mut t = Table::new(&headers);
+    let mut p = Table::new(&headers);
+    for spec in all_workloads() {
+        let r = run_variant(&spec, &base, Variant::Prefetch, len);
+        let i = r.stats.instructions;
+        let row =
+            |l: &LevelStats| (l.prefetch_rate(i), l.coverage_pct(), l.accuracy_pct());
+        let (l1i, l1d, l2) = (row(&r.stats.l1i), row(&r.stats.l1d), row(&r.stats.l2));
+        t.row(&[
+            spec.name.into(),
+            format!("{:.1}", l1i.0),
+            format!("{:.1}", l1i.1),
+            format!("{:.1}", l1i.2),
+            format!("{:.1}", l1d.0),
+            format!("{:.1}", l1d.1),
+            format!("{:.1}", l1d.2),
+            format!("{:.1}", l2.0),
+            format!("{:.1}", l2.1),
+            format!("{:.1}", l2.2),
+        ]);
+        let pr = paper::PREFETCH_PROPERTIES
+            .iter()
+            .find(|r| r.name == spec.name)
+            .expect("paper row");
+        p.row(&[
+            spec.name.into(),
+            format!("{:.1}", pr.l1i.0),
+            format!("{:.1}", pr.l1i.1),
+            format!("{:.1}", pr.l1i.2),
+            format!("{:.1}", pr.l1d.0),
+            format!("{:.1}", pr.l1d.1),
+            format!("{:.1}", pr.l1d.2),
+            format!("{:.1}", pr.l2.0),
+            format!("{:.1}", pr.l2.1),
+            format!("{:.1}", pr.l2.2),
+        ]);
+    }
+    t.print("Table 4 (model): prefetching properties");
+    p.print("Table 4 (paper): prefetching properties");
+}

@@ -1,0 +1,75 @@
+//! Table 5: speedups (%) of prefetching, compression, and their
+//! combinations, plus the EQ 5 interaction term, for every benchmark —
+//! the paper's central result.
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::experiment::{SimLength, VariantGrid};
+use cmpsim_core::report::{pct, Table};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_trace::{all_workloads, WorkloadSpec};
+
+/// Runs the five Table 5 rows for one workload.
+pub fn table5_row(spec: &WorkloadSpec, base: &SystemConfig, len: SimLength) -> [f64; 5] {
+    let grid = VariantGrid::run(
+        spec,
+        base,
+        &[
+            Variant::Base,
+            Variant::Prefetch,
+            Variant::BothCompression,
+            Variant::PrefetchCompression,
+            Variant::AdaptivePrefetchCompression,
+        ],
+        len,
+    );
+    [
+        grid.speedup_pct(Variant::Prefetch),
+        grid.speedup_pct(Variant::BothCompression),
+        grid.speedup_pct(Variant::PrefetchCompression),
+        grid.speedup_pct(Variant::AdaptivePrefetchCompression),
+        grid.pf_compr_interaction() * 100.0,
+    ]
+}
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    let len = sim_length();
+    let headers =
+        ["row", "apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"];
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for spec in all_workloads() {
+        let r = table5_row(&spec, &base, len);
+        for (i, v) in r.iter().enumerate() {
+            rows[i].push(*v);
+        }
+    }
+    let labels = [
+        "Speedup (Pref.)",
+        "Speedup (Compr.)",
+        "Speedup (Pref., Compr.)",
+        "Speedup (Adaptive-Pref, Compr.)",
+        "Interaction(Pref., Compr.)",
+    ];
+    let paper_rows: [&[(&str, f64)]; 5] = [
+        &paper::SPEEDUP_PF,
+        &paper::SPEEDUP_COMPR,
+        &paper::SPEEDUP_PF_COMPR,
+        &paper::SPEEDUP_ADAPTIVE_PF_COMPR,
+        &paper::INTERACTION,
+    ];
+    let mut t = Table::new(&headers);
+    for (label, vals) in labels.iter().zip(rows.iter()) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(vals.iter().map(|v| pct(*v)));
+        t.row(&cells);
+    }
+    t.print("Table 5 (model): speedups and interactions");
+
+    let mut p = Table::new(&headers);
+    for (label, table) in labels.iter().zip(paper_rows.iter()) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(paper::BENCHMARKS.iter().map(|b| pct(paper::lookup(table, b))));
+        p.row(&cells);
+    }
+    p.print("Table 5 (paper): speedups and interactions");
+}

@@ -1,0 +1,52 @@
+//! Calibration diagnostic: per-workload base-system characteristics vs.
+//! the paper's published targets. Not a paper artifact itself — this is
+//! the tool used to tune the synthetic workload parameters.
+//!
+//! ```sh
+//! CMPSIM_MEASURE=600000 cargo run --release -p cmpsim-bench --bin calibrate [bench...]
+//! ```
+
+use cmpsim_bench::{paper, sim_length, SEED};
+use cmpsim_core::report::Table;
+use cmpsim_core::{System, SystemConfig, Variant};
+use cmpsim_link::LinkBandwidth;
+use cmpsim_trace::all_workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let len = sim_length();
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+
+    let mut t = Table::new(&[
+        "bench", "IPC", "L1I mpki", "L1D mpki", "L2 mpki", "GB/s", "GB/s(paper)", "ratio",
+        "ratio(paper)",
+    ]);
+    for spec in all_workloads() {
+        if !args.is_empty() && !args.iter().any(|a| a == spec.name) {
+            continue;
+        }
+        // Base characteristics on an infinite link (bandwidth *demand*).
+        let cfg = Variant::Base.apply(base.clone()).with_link(LinkBandwidth::Infinite);
+        let mut sys = System::new(cfg, &spec);
+        let r = sys.run(len.warmup, len.measure);
+
+        // Compression ratio from a cache-compression run.
+        let ccfg = Variant::CacheCompression.apply(base.clone());
+        let mut csys = System::new(ccfg, &spec);
+        let cr = csys.run(len.warmup, len.measure);
+
+        let i = r.stats.instructions;
+        t.row(&[
+            spec.name.into(),
+            format!("{:.2}", r.ipc()),
+            format!("{:.1}", r.stats.l1i.mpki(i)),
+            format!("{:.1}", r.stats.l1d.mpki(i)),
+            format!("{:.1}", r.stats.l2.mpki(i)),
+            format!("{:.1}", r.bandwidth_gbps()),
+            format!("{:.1}", paper::lookup(&paper::BANDWIDTH_DEMAND, spec.name)),
+            format!("{:.2}", cr.stats.compression_ratio()),
+            format!("{:.2}", paper::lookup(&paper::COMPRESSION_RATIO, spec.name)),
+        ]);
+    }
+    t.print("calibration: base-system characteristics vs paper");
+}

@@ -1,0 +1,45 @@
+//! Shared plumbing for the figure/table harnesses.
+//!
+//! Every bench target regenerates one table or figure of the paper (see
+//! DESIGN.md §4 for the index). They share the simulation length, seed
+//! set and paper reference values defined here so EXPERIMENTS.md can be
+//! rebuilt with `cargo bench`.
+
+use cmpsim_core::experiment::SimLength;
+
+/// Paper reference values used in the `paper` columns of the harnesses.
+pub mod paper;
+
+/// Seeds used for multi-run confidence intervals (the paper's
+/// space-variability methodology).
+pub const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// One representative seed for single-run harnesses.
+pub const SEED: u64 = 11;
+
+/// Simulation length for harness runs; override the instruction counts
+/// with `CMPSIM_MEASURE`/`CMPSIM_WARMUP` (instructions per core) to trade
+/// fidelity for wall-clock time.
+pub fn sim_length() -> SimLength {
+    let std = SimLength::standard();
+    let warmup = env_u64("CMPSIM_WARMUP").unwrap_or(std.warmup);
+    let measure = env_u64("CMPSIM_MEASURE").unwrap_or(std.measure);
+    SimLength { warmup, measure }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_length_is_standard() {
+        // (Assumes the env overrides are unset in the test environment.)
+        if std::env::var("CMPSIM_MEASURE").is_err() {
+            assert_eq!(sim_length().measure, SimLength::standard().measure);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Published numbers from the paper, used as the `paper` reference
+//! columns in the regenerated tables and in EXPERIMENTS.md.
+//!
+//! Values come from Tables 3–5 and the prose of §4–§5. Table 3's exact
+//! per-benchmark ratios appear only in a figure; the values here are the
+//! calibration targets stated in DESIGN.md (consistent with the text:
+//! commercial up to 1.8, SPEComp 1.01–1.19).
+
+/// Benchmarks in the paper's presentation order.
+pub const BENCHMARKS: [&str; 8] =
+    ["apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"];
+
+/// Table 3 (calibrated): L2 compression ratio per benchmark.
+pub const COMPRESSION_RATIO: [(&str, f64); 8] = [
+    ("apache", 1.75),
+    ("zeus", 1.60),
+    ("oltp", 1.50),
+    ("jbb", 1.40),
+    ("art", 1.15),
+    ("apsi", 1.01),
+    ("fma3d", 1.19),
+    ("mgrid", 1.08),
+];
+
+/// Figure 4: pin bandwidth demand (GB/s) of the base system.
+pub const BANDWIDTH_DEMAND: [(&str, f64); 8] = [
+    ("apache", 8.8),
+    ("zeus", 7.6),
+    ("oltp", 5.0),
+    ("jbb", 6.5),
+    ("art", 7.6),
+    ("apsi", 10.0),
+    ("fma3d", 27.7),
+    ("mgrid", 20.0),
+];
+
+/// Table 5 row 1: speedup (%) of stride prefetching alone.
+pub const SPEEDUP_PF: [(&str, f64); 8] = [
+    ("apache", -0.9),
+    ("zeus", 21.3),
+    ("oltp", 0.3),
+    ("jbb", -24.5),
+    ("art", 6.4),
+    ("apsi", 13.6),
+    ("fma3d", -3.4),
+    ("mgrid", 18.9),
+];
+
+/// Table 5 row 2: speedup (%) of cache+link compression alone.
+pub const SPEEDUP_COMPR: [(&str, f64); 8] = [
+    ("apache", 20.5),
+    ("zeus", 9.7),
+    ("oltp", 5.6),
+    ("jbb", 5.9),
+    ("art", 3.1),
+    ("apsi", 4.2),
+    ("fma3d", 22.6),
+    ("mgrid", 2.9),
+];
+
+/// Table 5 row 3: speedup (%) of prefetching + compression.
+pub const SPEEDUP_PF_COMPR: [(&str, f64); 8] = [
+    ("apache", 37.3),
+    ("zeus", 50.7),
+    ("oltp", 9.9),
+    ("jbb", -6.5),
+    ("art", 10.6),
+    ("apsi", 15.5),
+    ("fma3d", 18.6),
+    ("mgrid", 48.7),
+];
+
+/// Table 5 row 4: speedup (%) of adaptive prefetching + compression.
+pub const SPEEDUP_ADAPTIVE_PF_COMPR: [(&str, f64); 8] = [
+    ("apache", 39.2),
+    ("zeus", 50.8),
+    ("oltp", 13.1),
+    ("jbb", 1.7),
+    ("art", 10.7),
+    ("apsi", 16.1),
+    ("fma3d", 18.5),
+    ("mgrid", 49.9),
+];
+
+/// Table 5 row 5: Interaction(Pf, Compr) (%).
+pub const INTERACTION: [(&str, f64); 8] = [
+    ("apache", 15.0),
+    ("zeus", 13.2),
+    ("oltp", 3.8),
+    ("jbb", 16.9),
+    ("art", 0.9),
+    ("apsi", -2.5),
+    ("fma3d", 0.2),
+    ("mgrid", 21.5),
+];
+
+/// Figure 6 (prose of §4.3): speedup (%) of *adaptive* prefetching alone.
+pub const SPEEDUP_ADAPTIVE_PF: [(&str, f64); 8] = [
+    ("apache", 19.0),
+    ("zeus", 42.0),
+    ("oltp", 12.0),
+    ("jbb", 0.8),
+    ("art", 7.0),
+    ("apsi", 14.0),
+    ("fma3d", -1.0),
+    ("mgrid", 19.5),
+];
+
+/// Table 4: (pf_rate, coverage %, accuracy %) per cache level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// L1I (rate, coverage, accuracy).
+    pub l1i: (f64, f64, f64),
+    /// L1D (rate, coverage, accuracy).
+    pub l1d: (f64, f64, f64),
+    /// L2 (rate, coverage, accuracy).
+    pub l2: (f64, f64, f64),
+}
+
+/// Table 4 verbatim.
+pub const PREFETCH_PROPERTIES: [PrefetchRow; 8] = [
+    PrefetchRow { name: "apache", l1i: (4.9, 16.4, 42.0), l1d: (6.1, 8.8, 55.5), l2: (10.5, 37.7, 57.9) },
+    PrefetchRow { name: "zeus", l1i: (7.1, 14.5, 38.9), l1d: (5.5, 17.7, 79.2), l2: (8.2, 44.4, 56.0) },
+    PrefetchRow { name: "oltp", l1i: (13.5, 20.9, 44.8), l1d: (2.0, 6.6, 58.0), l2: (2.4, 26.4, 41.5) },
+    PrefetchRow { name: "jbb", l1i: (1.8, 24.6, 49.6), l1d: (4.2, 23.1, 60.3), l2: (5.5, 34.2, 32.4) },
+    PrefetchRow { name: "art", l1i: (0.05, 9.4, 24.1), l1d: (56.3, 30.9, 81.3), l2: (49.7, 56.0, 85.0) },
+    PrefetchRow { name: "apsi", l1i: (0.04, 15.7, 30.7), l1d: (8.5, 25.5, 96.9), l2: (4.6, 95.8, 97.6) },
+    PrefetchRow { name: "fma3d", l1i: (0.06, 7.5, 14.4), l1d: (7.3, 27.5, 80.9), l2: (8.8, 44.6, 73.5) },
+    PrefetchRow { name: "mgrid", l1i: (0.06, 15.5, 26.6), l1d: (8.4, 80.2, 94.2), l2: (6.2, 89.9, 81.9) },
+];
+
+/// Looks up a `(name, value)` table.
+pub fn lookup(table: &[(&str, f64)], name: &str) -> f64 {
+    table
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_benchmarks() {
+        for b in BENCHMARKS {
+            assert!(!lookup(&SPEEDUP_PF, b).is_nan());
+            assert!(!lookup(&SPEEDUP_COMPR, b).is_nan());
+            assert!(!lookup(&SPEEDUP_PF_COMPR, b).is_nan());
+            assert!(!lookup(&INTERACTION, b).is_nan());
+            assert!(PREFETCH_PROPERTIES.iter().any(|r| r.name == b));
+        }
+        assert!(lookup(&SPEEDUP_PF, "nope").is_nan());
+    }
+}

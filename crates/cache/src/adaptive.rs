@@ -1,0 +1,189 @@
+//! Adaptive cache-compression policy (Alameldeen & Wood, ISCA 2004).
+//!
+//! The paper (§2) reuses the ISCA 2004 policy: a single global saturating
+//! counter weighs the *benefit* of compression (misses avoided because
+//! extra lines fit) against its *cost* (decompression latency added to
+//! hits that would have occurred anyway). Newly (re)written L2 lines are
+//! stored compressed only while the counter is positive.
+//!
+//! Events, derived from the VSC's LRU-stack depths:
+//!
+//! - **Benefit** (`+= miss penalty`): a hit at stack depth ≥ the
+//!   uncompressed associativity (the line is resident only because
+//!   compression packed extra lines in), or a miss matching a dataless
+//!   victim tag (compression *could* have kept the line).
+//! - **Cost** (`-= decompression penalty`): a hit to a *compressed* line
+//!   at depth < the uncompressed associativity (the line would have hit
+//!   anyway, and we paid the decompression latency for nothing).
+//!
+//! The paper observes that for its workloads the policy "always adapted to
+//! compress all compressible cache lines"; our tests exercise both
+//! directions anyway.
+
+/// What to do with a compressible line at fill time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionDecision {
+    /// Store the line compressed (if FPC helps).
+    Compress,
+    /// Store the line uncompressed regardless of compressibility.
+    StoreUncompressed,
+}
+
+/// The global cost/benefit saturating counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressionPolicy {
+    counter: i64,
+    limit: i64,
+    benefit: i64,
+    cost: i64,
+}
+
+impl CompressionPolicy {
+    /// Creates the policy with the paper's latencies: benefit = the L2
+    /// miss penalty it avoids (memory latency), cost = the decompression
+    /// penalty (5 cycles).
+    pub fn new(miss_penalty: u32, decompression_penalty: u32) -> Self {
+        let benefit = i64::from(miss_penalty);
+        // Saturate far enough out that transient phases don't flip the
+        // decision on every event (ISCA'04 uses a large saturating range).
+        let limit = benefit * 4096;
+        CompressionPolicy {
+            counter: limit,
+            limit,
+            benefit,
+            cost: i64::from(decompression_penalty),
+        }
+    }
+
+    /// Current decision for newly written lines.
+    pub fn decision(&self) -> CompressionDecision {
+        if self.counter > 0 {
+            CompressionDecision::Compress
+        } else {
+            CompressionDecision::StoreUncompressed
+        }
+    }
+
+    /// Raw counter value (for stats/debugging).
+    pub fn counter(&self) -> i64 {
+        self.counter
+    }
+
+    /// Records a compression benefit: a miss avoided (or avoidable).
+    pub fn record_benefit(&mut self) {
+        self.counter = (self.counter + self.benefit).min(self.limit);
+    }
+
+    /// Records a compression cost: a needless decompression penalty.
+    pub fn record_cost(&mut self) {
+        self.counter = (self.counter - self.cost).max(-self.limit);
+    }
+
+    /// Classifies an L2 data hit and updates the counter.
+    ///
+    /// `lru_depth` is the 0-based depth among data-resident lines;
+    /// `uncompressed_ways` is the associativity the cache would have
+    /// without compression (4 for the paper's VSC).
+    pub fn on_hit(&mut self, lru_depth: usize, compressed: bool, uncompressed_ways: usize) {
+        if lru_depth >= uncompressed_ways {
+            self.record_benefit();
+        } else if compressed {
+            self.record_cost();
+        }
+    }
+
+    /// Classifies a miss that matched a dataless victim tag.
+    pub fn on_victim_tag_miss(&mut self) {
+        self.record_benefit();
+    }
+}
+
+impl Default for CompressionPolicy {
+    /// Paper latencies: 400-cycle memory penalty, 5-cycle decompression.
+    fn default() -> Self {
+        Self::new(400, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_compressing() {
+        let p = CompressionPolicy::default();
+        assert_eq!(p.decision(), CompressionDecision::Compress);
+    }
+
+    #[test]
+    fn sustained_costs_disable_compression() {
+        let mut p = CompressionPolicy::new(400, 5);
+        // All hits land in the top of the stack on compressed lines:
+        // pure cost, no benefit.
+        for _ in 0..(400 * 4096 / 5 + 1) {
+            p.on_hit(0, true, 4);
+        }
+        assert_eq!(p.decision(), CompressionDecision::StoreUncompressed);
+    }
+
+    #[test]
+    fn benefits_recover_quickly() {
+        let mut p = CompressionPolicy::new(400, 5);
+        for _ in 0..(400 * 4096 / 5 + 1) {
+            p.on_hit(0, true, 4);
+        }
+        assert_eq!(p.decision(), CompressionDecision::StoreUncompressed);
+        // One avoided miss outweighs 80 decompressions.
+        for _ in 0..(4096 / 2) {
+            p.on_hit(5, true, 4);
+        }
+        assert_eq!(p.decision(), CompressionDecision::Compress);
+    }
+
+    #[test]
+    fn deep_hits_count_as_benefit_even_uncompressed() {
+        // A deep hit means compression of *other* lines kept this one in.
+        let mut p = CompressionPolicy::new(400, 5);
+        let before = p.counter();
+        p.on_hit(4, false, 4);
+        assert_eq!(p.counter(), before, "already saturated at the limit");
+        p.record_cost();
+        let dipped = p.counter();
+        p.on_hit(4, false, 4);
+        assert!(p.counter() > dipped);
+    }
+
+    #[test]
+    fn shallow_uncompressed_hits_are_neutral() {
+        let mut p = CompressionPolicy::new(400, 5);
+        p.record_cost();
+        let before = p.counter();
+        p.on_hit(1, false, 4);
+        assert_eq!(p.counter(), before);
+    }
+
+    #[test]
+    fn victim_tag_miss_is_benefit() {
+        let mut p = CompressionPolicy::new(400, 5);
+        for _ in 0..10 {
+            p.record_cost();
+        }
+        let before = p.counter();
+        p.on_victim_tag_miss();
+        assert_eq!(p.counter(), (before + 400).min(400 * 4096));
+        assert!(p.counter() > before);
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        let mut p = CompressionPolicy::new(10, 10);
+        for _ in 0..100_000 {
+            p.record_benefit();
+        }
+        assert_eq!(p.counter(), 10 * 4096);
+        for _ in 0..200_000 {
+            p.record_cost();
+        }
+        assert_eq!(p.counter(), -10 * 4096);
+    }
+}

@@ -1,0 +1,114 @@
+//! Block addressing primitives.
+
+use cmpsim_fpc::LINE_BYTES;
+
+/// A cache-line address, stored as the *line number* (byte address divided
+/// by the 64-byte line size).
+///
+/// Using line numbers everywhere removes a whole class of alignment bugs:
+/// a `BlockAddr` is always line-aligned by construction.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_cache::BlockAddr;
+/// let a = BlockAddr::from_byte_addr(0x1234);
+/// assert_eq!(a.byte_addr(), 0x1200);
+/// assert_eq!(a, BlockAddr::from_byte_addr(0x123F));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The line containing byte address `addr`.
+    pub fn from_byte_addr(addr: u64) -> Self {
+        BlockAddr(addr / LINE_BYTES as u64)
+    }
+
+    /// The first byte address of this line.
+    pub fn byte_addr(self) -> u64 {
+        self.0 * LINE_BYTES as u64
+    }
+
+    /// The line `n` lines after this one (wrapping, for stride arithmetic).
+    pub fn offset(self, n: i64) -> Self {
+        BlockAddr(self.0.wrapping_add(n as u64))
+    }
+
+    /// Set index for a cache with `num_sets` sets (power of two).
+    pub fn set_index(self, num_sets: usize) -> usize {
+        debug_assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        (self.0 as usize) & (num_sets - 1)
+    }
+
+    /// Bank index for a banked cache, taken from the least-significant
+    /// block address bits (paper §2: the L2 is "interleaved using the least
+    /// significant block address bits").
+    pub fn bank_index(self, num_banks: usize) -> usize {
+        debug_assert!(num_banks.is_power_of_two(), "bank count must be a power of two");
+        (self.0 as usize) & (num_banks - 1)
+    }
+}
+
+impl std::fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.byte_addr())
+    }
+}
+
+/// The kind of memory access a core performs, as seen by the caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I path).
+    IFetch,
+    /// Data load (L1D path).
+    Load,
+    /// Data store (L1D path, write-allocate).
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this access requires write permission (MSI `Modified`).
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// Whether this access goes to the instruction cache.
+    pub fn is_ifetch(self) -> bool {
+        matches!(self, AccessKind::IFetch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment() {
+        assert_eq!(BlockAddr::from_byte_addr(0).0, 0);
+        assert_eq!(BlockAddr::from_byte_addr(63).0, 0);
+        assert_eq!(BlockAddr::from_byte_addr(64).0, 1);
+        assert_eq!(BlockAddr::from_byte_addr(0x1000).byte_addr(), 0x1000);
+    }
+
+    #[test]
+    fn set_and_bank_indexing() {
+        let a = BlockAddr(0b1011_0101);
+        assert_eq!(a.set_index(16), 0b0101);
+        assert_eq!(a.bank_index(8), 0b101);
+    }
+
+    #[test]
+    fn offsets() {
+        let a = BlockAddr(100);
+        assert_eq!(a.offset(3), BlockAddr(103));
+        assert_eq!(a.offset(-3), BlockAddr(97));
+    }
+
+    #[test]
+    fn access_kinds() {
+        assert!(AccessKind::Store.is_write());
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::IFetch.is_ifetch());
+    }
+}

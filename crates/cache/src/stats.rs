@@ -1,0 +1,57 @@
+//! Structural cache statistics.
+
+/// Counters a cache structure accumulates as it is operated.
+///
+/// Higher-level, protocol-aware counters (demand vs. prefetch misses,
+/// coverage, bandwidth) live in the simulator's controllers; these are the
+/// counts only the structure itself can observe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a valid matching tag with data.
+    pub hits: u64,
+    /// Lines inserted.
+    pub fills: u64,
+    /// Fills that carried the prefetch bit.
+    pub prefetch_fills: u64,
+    /// Valid lines displaced to make room.
+    pub evictions: u64,
+    /// Evicted lines whose prefetch bit was still set (useless prefetches,
+    /// §3 "useless prefetch" detection input).
+    pub unused_prefetch_evictions: u64,
+    /// First demand touches of prefetched lines (useful prefetches).
+    pub prefetch_first_touches: u64,
+    /// Lines removed by coherence invalidations or inclusion recalls.
+    pub invalidations: u64,
+    /// Lookups that matched a dataless victim tag (compressed/VSC cache
+    /// only): the line *was* here until a recent eviction.
+    pub victim_tag_hits: u64,
+}
+
+impl CacheStats {
+    /// Accumulates `other` into `self` (for summing across banks).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.fills += other.fills;
+        self.prefetch_fills += other.prefetch_fills;
+        self.evictions += other.evictions;
+        self.unused_prefetch_evictions += other.unused_prefetch_evictions;
+        self.prefetch_first_touches += other.prefetch_first_touches;
+        self.invalidations += other.invalidations;
+        self.victim_tag_hits += other.victim_tag_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats { hits: 1, fills: 2, ..Default::default() };
+        let b = CacheStats { hits: 10, evictions: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.fills, 2);
+        assert_eq!(a.evictions, 3);
+    }
+}

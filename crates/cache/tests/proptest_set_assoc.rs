@@ -1,0 +1,58 @@
+//! Property tests: classic set-associative cache vs. a naive LRU model.
+
+use cmpsim_cache::{BlockAddr, SetAssocCache, SetAssocConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Naive per-set LRU model.
+#[derive(Default)]
+struct ModelSet {
+    order: VecDeque<BlockAddr>, // front = LRU, back = MRU
+}
+
+impl ModelSet {
+    fn touch(&mut self, a: BlockAddr) -> bool {
+        if let Some(pos) = self.order.iter().position(|x| *x == a) {
+            self.order.remove(pos);
+            self.order.push_back(a);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, a: BlockAddr, ways: usize) -> Option<BlockAddr> {
+        if self.touch(a) {
+            return None;
+        }
+        let victim = if self.order.len() == ways { self.order.pop_front() } else { None };
+        self.order.push_back(a);
+        victim
+    }
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_lru(
+        ops in prop::collection::vec((0u64..48, any::<bool>()), 1..400)
+    ) {
+        const SETS: usize = 4;
+        const WAYS: usize = 4;
+        let mut c: SetAssocCache<()> =
+            SetAssocCache::new(SetAssocConfig { sets: SETS, ways: WAYS });
+        let mut model: Vec<ModelSet> = (0..SETS).map(|_| ModelSet::default()).collect();
+
+        for (line, is_fill) in ops {
+            let addr = BlockAddr(line);
+            let set = addr.set_index(SETS);
+            if is_fill {
+                let victim = c.fill(addr, false, ());
+                let model_victim = model[set].fill(addr, WAYS);
+                prop_assert_eq!(victim.map(|v| v.addr), model_victim);
+            } else {
+                let hit = c.lookup(addr).is_some();
+                let model_hit = model[set].touch(addr);
+                prop_assert_eq!(hit, model_hit);
+            }
+        }
+    }
+}

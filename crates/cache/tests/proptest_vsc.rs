@@ -1,0 +1,116 @@
+//! Property tests: VSC structural invariants under random operation
+//! streams.
+
+use cmpsim_cache::{BlockAddr, VscCache, VscConfig, VscLookup};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const SETS: usize = 4;
+const SEGMENTS: u32 = 32;
+const TAGS: usize = 8;
+
+fn check_invariants(c: &VscCache<u64>, model: &HashMap<BlockAddr, u8>) {
+    // 1. Segment accounting: total used == sum of per-line sizes.
+    let mut total = 0u64;
+    let mut seen = Vec::new();
+    c.for_each_valid(|addr, _, segs| {
+        total += u64::from(segs);
+        seen.push((addr, segs));
+        assert!((1..=8).contains(&segs));
+    });
+    assert_eq!(total, c.used_segments_total());
+
+    // 2. No duplicate resident addresses.
+    let mut addrs: Vec<_> = seen.iter().map(|(a, _)| *a).collect();
+    addrs.sort();
+    addrs.dedup();
+    assert_eq!(addrs.len(), seen.len(), "duplicate resident address");
+
+    // 3. Every resident line matches what the model last wrote.
+    for (addr, segs) in &seen {
+        assert_eq!(model.get(addr), Some(segs), "stale size for {addr}");
+    }
+
+    // 4. Per-set capacity bounds (valid_lines <= tags, segments <= cap)
+    //    hold globally.
+    assert!(c.valid_lines() <= SETS * TAGS);
+    assert!(c.used_segments_total() <= (SETS as u64) * u64::from(SEGMENTS));
+}
+
+proptest! {
+    #[test]
+    fn random_fills_preserve_invariants(
+        ops in prop::collection::vec((0u64..64, 1u8..=8, any::<bool>()), 1..300)
+    ) {
+        let mut c: VscCache<u64> = VscCache::new(VscConfig {
+            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
+        });
+        let mut model: HashMap<BlockAddr, u8> = HashMap::new();
+        for (line, segs, prefetched) in ops {
+            let addr = BlockAddr(line);
+            let evicted = c.fill(addr, segs, prefetched, line);
+            for e in &evicted {
+                prop_assert!(e.addr != addr, "fill must never evict itself");
+                model.remove(&e.addr);
+            }
+            model.insert(addr, segs);
+            check_invariants(&c, &model);
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_with_model(
+        ops in prop::collection::vec((0u64..32, 1u8..=8), 1..200),
+        probes in prop::collection::vec(0u64..32, 1..50),
+    ) {
+        let mut c: VscCache<u64> = VscCache::new(VscConfig {
+            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
+        });
+        let mut model: HashMap<BlockAddr, u8> = HashMap::new();
+        for (line, segs) in ops {
+            let addr = BlockAddr(line);
+            for e in c.fill(addr, segs, false, line) {
+                model.remove(&e.addr);
+            }
+            model.insert(addr, segs);
+        }
+        for line in probes {
+            let addr = BlockAddr(line);
+            let hit = c.lookup(addr).is_hit();
+            prop_assert_eq!(hit, model.contains_key(&addr),
+                "lookup/model disagree at {}", addr);
+        }
+    }
+
+    #[test]
+    fn invalidate_then_miss(
+        lines in prop::collection::vec(0u64..32, 1..50)
+    ) {
+        let mut c: VscCache<u64> = VscCache::new(VscConfig {
+            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
+        });
+        for &line in &lines {
+            c.fill(BlockAddr(line), 4, false, line);
+        }
+        for &line in &lines {
+            c.invalidate(BlockAddr(line));
+            prop_assert!(!c.lookup(BlockAddr(line)).is_hit());
+        }
+        prop_assert_eq!(c.used_segments_total(), 0);
+        prop_assert_eq!(c.valid_lines(), 0);
+    }
+}
+
+#[test]
+fn victim_tag_then_refill_promotes() {
+    let mut c: VscCache<u64> = VscCache::new(VscConfig {
+        sets: 1, tags_per_set: 8, segments_per_set: 32,
+    });
+    for i in 0..5 {
+        c.fill(BlockAddr(i), 8, false, i);
+    }
+    assert_eq!(c.lookup(BlockAddr(0)), VscLookup::VictimTagHit);
+    c.fill(BlockAddr(0), 8, false, 0);
+    assert!(c.lookup(BlockAddr(0)).is_hit());
+    assert_eq!(c.valid_lines(), 4);
+}

@@ -1,0 +1,296 @@
+//! The directory state embedded in each L2 tag, and the MSI transition
+//! table the L2 controller runs against it.
+
+use crate::{CoreId, SharerSet};
+
+/// A coherence request arriving at the shared L2 from a private L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1Request {
+    /// Read miss: requestor wants a `Shared` copy.
+    GetS,
+    /// Write miss: requestor wants a `Modified` copy (data + exclusivity).
+    GetX,
+    /// Write hit on a `Shared` copy: requestor wants exclusivity only.
+    Upgrade,
+    /// Clean eviction notification: requestor drops its `Shared` copy.
+    PutS,
+    /// Dirty writeback: requestor evicts its `Modified` copy, sending data.
+    PutM,
+}
+
+/// An action the L2 controller must perform against an L1 to satisfy a
+/// request, produced by [`DirEntry::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirAction {
+    /// Invalidate a `Shared` copy in the given L1 (no data returned).
+    Invalidate(CoreId),
+    /// Retrieve dirty data from the given L1's `Modified` copy and
+    /// downgrade it to `Shared` (triggered by another core's `GetS`).
+    RecallDowngrade(CoreId),
+    /// Retrieve dirty data from the given L1's `Modified` copy and
+    /// invalidate it (triggered by another core's `GetX`/`Upgrade`, or by
+    /// an L2 eviction of an inclusively-held line).
+    RecallInvalidate(CoreId),
+}
+
+impl DirAction {
+    /// The core this action probes.
+    pub fn target(&self) -> CoreId {
+        match *self {
+            DirAction::Invalidate(c)
+            | DirAction::RecallDowngrade(c)
+            | DirAction::RecallInvalidate(c) => c,
+        }
+    }
+
+    /// Whether the probed L1 must return dirty data.
+    pub fn returns_data(&self) -> bool {
+        !matches!(self, DirAction::Invalidate(_))
+    }
+}
+
+/// Directory view of one L2 line: which L1s share it, whether one of them
+/// owns it exclusively, and whether the L2's copy is dirty w.r.t. memory.
+///
+/// Invariants (checked in debug builds and by property tests):
+/// - an `owner` is always the *only* sharer (MSI exclusivity),
+/// - `handle` returns the probe actions in deterministic (ascending core)
+///   order so simulation stays reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirEntry {
+    sharers: SharerSet,
+    owner: Option<CoreId>,
+    dirty: bool,
+}
+
+impl DirEntry {
+    /// A line with no L1 copies and a clean L2 copy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current set of L1 sharers.
+    pub fn sharers(&self) -> SharerSet {
+        self.sharers
+    }
+
+    /// The L1 holding the line in `Modified`, if any.
+    pub fn owner(&self) -> Option<CoreId> {
+        self.owner
+    }
+
+    /// Whether the L2 copy is dirty with respect to memory.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Marks the L2 copy dirty (e.g. when a fill response carries data
+    /// that memory does not yet have).
+    pub fn set_dirty(&mut self, dirty: bool) {
+        self.dirty = dirty;
+    }
+
+    /// Whether any L1 holds a copy (relevant for inclusive-eviction cost).
+    pub fn has_l1_copies(&self) -> bool {
+        !self.sharers.is_empty()
+    }
+
+    fn debug_check(&self) {
+        if let Some(o) = self.owner {
+            debug_assert!(self.sharers.contains(o), "owner must be a sharer");
+            debug_assert_eq!(self.sharers.len(), 1, "Modified copy must be exclusive");
+        }
+    }
+
+    /// Applies `req` from `core` and returns the probes the L2 must issue,
+    /// in ascending core order.
+    ///
+    /// The directory is updated to the post-transition state; the caller is
+    /// responsible for charging probe latency and data transfer.
+    pub fn handle(&mut self, core: CoreId, req: L1Request) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        match req {
+            L1Request::GetS => {
+                if let Some(o) = self.owner {
+                    if o != core {
+                        actions.push(DirAction::RecallDowngrade(o));
+                        self.dirty = true;
+                    }
+                    self.owner = None;
+                }
+                self.sharers.insert(core);
+            }
+            L1Request::GetX | L1Request::Upgrade => {
+                if let Some(o) = self.owner {
+                    if o != core {
+                        actions.push(DirAction::RecallInvalidate(o));
+                        self.sharers.remove(o);
+                        self.dirty = true;
+                    }
+                } else {
+                    for other in self.sharers.others(core).collect::<Vec<_>>() {
+                        actions.push(DirAction::Invalidate(other));
+                        self.sharers.remove(other);
+                    }
+                }
+                self.sharers = SharerSet::singleton(core);
+                self.owner = Some(core);
+            }
+            L1Request::PutS => {
+                self.sharers.remove(core);
+                if self.owner == Some(core) {
+                    // A silent M->S downgrade never happens in this
+                    // protocol; treat defensively as ownership loss.
+                    self.owner = None;
+                }
+            }
+            L1Request::PutM => {
+                if self.owner == Some(core) {
+                    self.owner = None;
+                    self.dirty = true;
+                }
+                // A PutM from a non-owner is a stale writeback that raced
+                // with an ownership transfer: the data is outdated, so
+                // only the sharer bit is dropped.
+                self.sharers.remove(core);
+            }
+        }
+        self.debug_check();
+        actions
+    }
+
+    /// Evicts the line from the L2: every L1 copy must be invalidated to
+    /// maintain inclusion. Returns the probes in ascending core order and
+    /// resets the entry.
+    pub fn recall_all(&mut self) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        if let Some(o) = self.owner {
+            actions.push(DirAction::RecallInvalidate(o));
+            self.dirty = true;
+        } else {
+            for c in self.sharers.iter() {
+                actions.push(DirAction::Invalidate(c));
+            }
+        }
+        self.sharers.clear();
+        self.owner = None;
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_accumulate_sharers() {
+        let mut d = DirEntry::new();
+        assert!(d.handle(CoreId(0), L1Request::GetS).is_empty());
+        assert!(d.handle(CoreId(1), L1Request::GetS).is_empty());
+        assert_eq!(d.sharers().len(), 2);
+        assert_eq!(d.owner(), None);
+        assert!(!d.is_dirty());
+    }
+
+    #[test]
+    fn write_invalidates_readers() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(0), L1Request::GetS);
+        d.handle(CoreId(2), L1Request::GetS);
+        let acts = d.handle(CoreId(1), L1Request::GetX);
+        assert_eq!(
+            acts,
+            vec![DirAction::Invalidate(CoreId(0)), DirAction::Invalidate(CoreId(2))]
+        );
+        assert_eq!(d.owner(), Some(CoreId(1)));
+        assert_eq!(d.sharers().len(), 1);
+    }
+
+    #[test]
+    fn read_after_write_recalls_and_downgrades() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(1), L1Request::GetX);
+        let acts = d.handle(CoreId(0), L1Request::GetS);
+        assert_eq!(acts, vec![DirAction::RecallDowngrade(CoreId(1))]);
+        assert_eq!(d.owner(), None);
+        assert!(d.sharers().contains(CoreId(0)));
+        assert!(d.sharers().contains(CoreId(1)), "old owner keeps an S copy");
+        assert!(d.is_dirty(), "recalled dirty data lands in L2");
+    }
+
+    #[test]
+    fn write_after_write_migrates_ownership() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(1), L1Request::GetX);
+        let acts = d.handle(CoreId(3), L1Request::GetX);
+        assert_eq!(acts, vec![DirAction::RecallInvalidate(CoreId(1))]);
+        assert_eq!(d.owner(), Some(CoreId(3)));
+        assert_eq!(d.sharers().len(), 1);
+        assert!(d.is_dirty());
+    }
+
+    #[test]
+    fn upgrade_from_shared() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(0), L1Request::GetS);
+        d.handle(CoreId(1), L1Request::GetS);
+        let acts = d.handle(CoreId(0), L1Request::Upgrade);
+        assert_eq!(acts, vec![DirAction::Invalidate(CoreId(1))]);
+        assert_eq!(d.owner(), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_free() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(2), L1Request::GetX);
+        assert!(d.handle(CoreId(2), L1Request::GetX).is_empty());
+        assert_eq!(d.owner(), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn putm_clears_ownership_and_dirties_l2() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(2), L1Request::GetX);
+        assert!(d.handle(CoreId(2), L1Request::PutM).is_empty());
+        assert_eq!(d.owner(), None);
+        assert!(!d.has_l1_copies());
+        assert!(d.is_dirty());
+    }
+
+    #[test]
+    fn puts_drops_sharer() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(0), L1Request::GetS);
+        d.handle(CoreId(1), L1Request::GetS);
+        d.handle(CoreId(0), L1Request::PutS);
+        assert!(!d.sharers().contains(CoreId(0)));
+        assert!(d.sharers().contains(CoreId(1)));
+    }
+
+    #[test]
+    fn recall_all_for_inclusion() {
+        let mut d = DirEntry::new();
+        d.handle(CoreId(0), L1Request::GetS);
+        d.handle(CoreId(1), L1Request::GetS);
+        let acts = d.recall_all();
+        assert_eq!(
+            acts,
+            vec![DirAction::Invalidate(CoreId(0)), DirAction::Invalidate(CoreId(1))]
+        );
+        assert!(!d.has_l1_copies());
+
+        let mut d = DirEntry::new();
+        d.handle(CoreId(5), L1Request::GetX);
+        let acts = d.recall_all();
+        assert_eq!(acts, vec![DirAction::RecallInvalidate(CoreId(5))]);
+        assert!(d.is_dirty());
+    }
+
+    #[test]
+    fn action_metadata() {
+        assert_eq!(DirAction::Invalidate(CoreId(4)).target(), CoreId(4));
+        assert!(!DirAction::Invalidate(CoreId(4)).returns_data());
+        assert!(DirAction::RecallDowngrade(CoreId(4)).returns_data());
+        assert!(DirAction::RecallInvalidate(CoreId(4)).returns_data());
+    }
+}

@@ -1,0 +1,74 @@
+//! The per-line MSI coherence state held by an L1 cache.
+
+/// MSI coherence state of a line in a private L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum MsiState {
+    /// Not present (or no read/write permission).
+    #[default]
+    Invalid,
+    /// Read-only copy; other L1s may also hold the line in `Shared`.
+    Shared,
+    /// Exclusive writable copy; this L1 is the owner and the copy may be
+    /// dirty with respect to the L2.
+    Modified,
+}
+
+impl MsiState {
+    /// Whether a load can be satisfied locally in this state.
+    pub fn can_read(self) -> bool {
+        !matches!(self, MsiState::Invalid)
+    }
+
+    /// Whether a store can be satisfied locally in this state.
+    pub fn can_write(self) -> bool {
+        matches!(self, MsiState::Modified)
+    }
+
+    /// Whether an eviction in this state must write data back to the L2.
+    pub fn needs_writeback(self) -> bool {
+        matches!(self, MsiState::Modified)
+    }
+}
+
+impl std::fmt::Display for MsiState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MsiState::Invalid => "I",
+            MsiState::Shared => "S",
+            MsiState::Modified => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(!MsiState::Invalid.can_read());
+        assert!(!MsiState::Invalid.can_write());
+        assert!(MsiState::Shared.can_read());
+        assert!(!MsiState::Shared.can_write());
+        assert!(MsiState::Modified.can_read());
+        assert!(MsiState::Modified.can_write());
+    }
+
+    #[test]
+    fn writeback_only_from_modified() {
+        assert!(!MsiState::Invalid.needs_writeback());
+        assert!(!MsiState::Shared.needs_writeback());
+        assert!(MsiState::Modified.needs_writeback());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(MsiState::default(), MsiState::Invalid);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MsiState::Modified.to_string(), "M");
+    }
+}

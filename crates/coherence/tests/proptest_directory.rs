@@ -1,0 +1,107 @@
+//! Property tests: the directory invariants hold under arbitrary legal
+//! request streams, mirroring what an inclusive L2 would observe.
+
+use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
+use proptest::prelude::*;
+
+const CORES: u8 = 8;
+
+/// A model L1 view: what state each core believes it has.
+fn apply_to_model(model: &mut [MsiState], core: CoreId, req: L1Request, actions: &[DirAction]) {
+    // First apply probes to other cores.
+    for a in actions {
+        let t = a.target().index();
+        match a {
+            DirAction::Invalidate(_) | DirAction::RecallInvalidate(_) => {
+                model[t] = MsiState::Invalid
+            }
+            DirAction::RecallDowngrade(_) => model[t] = MsiState::Shared,
+        }
+    }
+    let me = core.index();
+    match req {
+        L1Request::GetS => model[me] = MsiState::Shared,
+        L1Request::GetX | L1Request::Upgrade => model[me] = MsiState::Modified,
+        L1Request::PutS | L1Request::PutM => model[me] = MsiState::Invalid,
+    }
+}
+
+/// Picks a legal request for `core` given its current model state.
+fn legal_request(state: MsiState, choice: u8) -> L1Request {
+    match state {
+        MsiState::Invalid => {
+            if choice % 2 == 0 {
+                L1Request::GetS
+            } else {
+                L1Request::GetX
+            }
+        }
+        MsiState::Shared => match choice % 3 {
+            0 => L1Request::Upgrade,
+            1 => L1Request::PutS,
+            _ => L1Request::GetS, // re-read is harmless
+        },
+        MsiState::Modified => match choice % 2 {
+            0 => L1Request::PutM,
+            _ => L1Request::GetX, // rewrite
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn single_writer_multiple_reader(ops in prop::collection::vec((0u8..CORES, any::<u8>()), 1..200)) {
+        let mut dir = DirEntry::new();
+        let mut model = vec![MsiState::Invalid; usize::from(CORES)];
+        for (core, choice) in ops {
+            let core = CoreId(core);
+            let req = legal_request(model[core.index()], choice);
+            let actions = dir.handle(core, req);
+            apply_to_model(&mut model, core, req, &actions);
+
+            // Invariant: at most one Modified copy, and if one exists no
+            // other core has any copy.
+            let owners: Vec<_> = model.iter().enumerate()
+                .filter(|(_, s)| **s == MsiState::Modified).collect();
+            prop_assert!(owners.len() <= 1);
+            if let Some((o, _)) = owners.first() {
+                for (i, s) in model.iter().enumerate() {
+                    if i != *o {
+                        prop_assert_eq!(*s, MsiState::Invalid);
+                    }
+                }
+                prop_assert_eq!(dir.owner(), Some(CoreId(*o as u8)));
+            }
+
+            // Invariant: directory sharer bits exactly mirror the model.
+            for (i, s) in model.iter().enumerate() {
+                prop_assert_eq!(
+                    dir.sharers().contains(CoreId(i as u8)),
+                    *s != MsiState::Invalid,
+                    "sharer bit mismatch for core {}", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recall_all_leaves_no_copies(ops in prop::collection::vec((0u8..CORES, any::<u8>()), 1..50)) {
+        let mut dir = DirEntry::new();
+        let mut model = vec![MsiState::Invalid; usize::from(CORES)];
+        for (core, choice) in ops {
+            let core = CoreId(core);
+            let req = legal_request(model[core.index()], choice);
+            let actions = dir.handle(core, req);
+            apply_to_model(&mut model, core, req, &actions);
+        }
+        let actions = dir.recall_all();
+        for a in &actions {
+            let t = a.target().index();
+            prop_assert!(model[t] != MsiState::Invalid, "probe to core without a copy");
+            model[t] = MsiState::Invalid;
+        }
+        prop_assert!(model.iter().all(|s| *s == MsiState::Invalid));
+        prop_assert!(!dir.has_l1_copies());
+        prop_assert_eq!(dir.owner(), None);
+    }
+}

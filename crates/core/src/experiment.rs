@@ -1,0 +1,173 @@
+//! Experiment drivers: run the paper's configuration grid over a
+//! workload, with multiple seeds for confidence intervals.
+
+use crate::config::{SystemConfig, Variant};
+use crate::metrics;
+use crate::stats::RunResult;
+use crate::system::System;
+use cmpsim_trace::WorkloadSpec;
+use std::collections::HashMap;
+
+/// Simulation length preset: instructions per core for warmup and
+/// measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLength {
+    /// Warmup instructions per core (stats frozen).
+    pub warmup: u64,
+    /// Measured instructions per core (fixed work).
+    pub measure: u64,
+}
+
+impl SimLength {
+    /// Length used by the figure/table harnesses: long enough to warm the
+    /// 4 MB L2 (capacity effects need ~1M instructions per core of
+    /// warmup) and exercise steady state, short enough for minutes-scale
+    /// regeneration of all results.
+    pub fn standard() -> Self {
+        SimLength { warmup: 1_200_000, measure: 600_000 }
+    }
+
+    /// Very short runs for integration tests.
+    pub fn smoke() -> Self {
+        SimLength { warmup: 20_000, measure: 60_000 }
+    }
+}
+
+/// Runs one `(workload, variant)` cell and returns the measured result.
+pub fn run_variant(
+    spec: &WorkloadSpec,
+    base: &SystemConfig,
+    variant: Variant,
+    len: SimLength,
+) -> RunResult {
+    let cfg = variant.apply(base.clone());
+    let mut sys = System::new(cfg, spec);
+    sys.run(len.warmup, len.measure)
+}
+
+/// Results for a set of variants over one workload (single seed).
+#[derive(Debug)]
+pub struct VariantGrid {
+    results: HashMap<Variant, RunResult>,
+}
+
+impl VariantGrid {
+    /// Runs every variant in `variants` for `spec`.
+    pub fn run(
+        spec: &WorkloadSpec,
+        base: &SystemConfig,
+        variants: &[Variant],
+        len: SimLength,
+    ) -> Self {
+        let mut results = HashMap::new();
+        for &v in variants {
+            results.insert(v, run_variant(spec, base, v, len));
+        }
+        VariantGrid { results }
+    }
+
+    /// The result for a variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant was not part of the grid.
+    pub fn get(&self, v: Variant) -> &RunResult {
+        self.results.get(&v).unwrap_or_else(|| panic!("variant {v} not in grid"))
+    }
+
+    /// `Speedup(v)` relative to the grid's base run.
+    pub fn speedup(&self, v: Variant) -> f64 {
+        metrics::speedup(self.get(Variant::Base), self.get(v))
+    }
+
+    /// Percentage improvement of `v` over base.
+    pub fn speedup_pct(&self, v: Variant) -> f64 {
+        metrics::speedup_pct(self.get(Variant::Base), self.get(v))
+    }
+
+    /// EQ 5 interaction between prefetching and compression, from the
+    /// grid's Pf, Compr and Pf+Compr cells.
+    pub fn pf_compr_interaction(&self) -> f64 {
+        metrics::interaction(
+            self.speedup(Variant::Prefetch),
+            self.speedup(Variant::BothCompression),
+            self.speedup(Variant::PrefetchCompression),
+        )
+    }
+}
+
+/// Mean ± 95% CI of a per-seed metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean, self.ci95)
+    }
+}
+
+/// Runs `f` once per seed and aggregates the metric it extracts.
+///
+/// This is the paper's space-variability methodology [ref 3]: several
+/// perturbed runs per data point, reported as mean and 95% CI.
+pub fn across_seeds(
+    base: &SystemConfig,
+    seeds: &[u64],
+    mut f: impl FnMut(&SystemConfig) -> f64,
+) -> Estimate {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let samples: Vec<f64> = seeds
+        .iter()
+        .map(|&s| f(&base.clone().with_seed(s)))
+        .collect();
+    let (mean, ci95) = metrics::mean_ci95(&samples);
+    Estimate { mean, ci95 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::workload;
+
+    #[test]
+    fn grid_runs_and_exposes_speedups() {
+        let spec = workload("apsi").unwrap();
+        let base = SystemConfig::paper_default(2);
+        let grid = VariantGrid::run(
+            &spec,
+            &base,
+            &[Variant::Base, Variant::BothCompression],
+            SimLength { warmup: 5_000, measure: 20_000 },
+        );
+        let s = grid.speedup(Variant::BothCompression);
+        assert!(s > 0.5 && s < 2.0, "speedup {s} out of plausible range");
+        assert_eq!(grid.speedup(Variant::Base), 1.0);
+    }
+
+    #[test]
+    fn across_seeds_aggregates() {
+        let base = SystemConfig::paper_default(1);
+        let est = across_seeds(&base, &[1, 2, 3], |cfg| cfg.seed as f64);
+        assert!((est.mean - 2.0).abs() < 1e-12);
+        assert!(est.ci95 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in grid")]
+    fn missing_variant_panics() {
+        let spec = workload("apsi").unwrap();
+        let base = SystemConfig::paper_default(1);
+        let grid = VariantGrid::run(
+            &spec,
+            &base,
+            &[Variant::Base],
+            SimLength { warmup: 1_000, measure: 5_000 },
+        );
+        grid.get(Variant::Prefetch);
+    }
+}

@@ -1,0 +1,152 @@
+//! Derived metrics: speedups, interaction terms (EQ 5), the Figure 8
+//! miss classification, and confidence intervals.
+
+use crate::stats::RunResult;
+
+/// `Speedup(A) = runtime(base) / runtime(A)` (≥ 1 means A is faster).
+pub fn speedup(base: &RunResult, enhanced: &RunResult) -> f64 {
+    if enhanced.runtime() == 0 {
+        return 1.0;
+    }
+    base.runtime() as f64 / enhanced.runtime() as f64
+}
+
+/// Speedup expressed as the paper's "performance improvement (%)".
+pub fn speedup_pct(base: &RunResult, enhanced: &RunResult) -> f64 {
+    (speedup(base, enhanced) - 1.0) * 100.0
+}
+
+/// EQ 5: `Speedup(A,B) = Speedup(A) × Speedup(B) × (1 + Interaction)`,
+/// solved for the interaction term. Positive means the enhancements
+/// reinforce each other.
+pub fn interaction(speedup_a: f64, speedup_b: f64, speedup_ab: f64) -> f64 {
+    assert!(speedup_a > 0.0 && speedup_b > 0.0, "speedups must be positive");
+    speedup_ab / (speedup_a * speedup_b) - 1.0
+}
+
+/// The six Figure 8 categories, as fractions of the base configuration's
+/// demand misses (the figure's 100% line).
+///
+/// Estimated exactly as the paper does: by comparing miss/prefetch counts
+/// across the four runs (base, compression, prefetching, both) with
+/// inclusion–exclusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissClassification {
+    /// Demand misses no technique avoids.
+    pub unavoidable: f64,
+    /// Avoided only by L2 compression.
+    pub only_compression: f64,
+    /// Avoided only by L2 prefetching.
+    pub only_prefetching: f64,
+    /// Avoided by either technique (the negative-interaction overlap).
+    pub either: f64,
+    /// L2 prefetches still issued when compression is also on.
+    pub prefetches_remaining: f64,
+    /// L2 prefetches that compression renders unnecessary.
+    pub prefetches_avoided: f64,
+}
+
+impl MissClassification {
+    /// Classifies from the four runs' L2 counters.
+    pub fn from_runs(
+        base: &RunResult,
+        compression: &RunResult,
+        prefetching: &RunResult,
+        both: &RunResult,
+    ) -> Self {
+        let m_base = base.stats.l2.demand_misses.max(1) as f64;
+        let m_c = compression.stats.l2.demand_misses as f64;
+        let m_p = prefetching.stats.l2.demand_misses as f64;
+        let m_cp = both.stats.l2.demand_misses as f64;
+        let p_p = prefetching.stats.l2.prefetches_issued as f64;
+        let p_cp = both.stats.l2.prefetches_issued as f64;
+
+        let a = (m_base - m_c).max(0.0); // avoided by compression
+        let b = (m_base - m_p).max(0.0); // avoided by prefetching
+        let union = (m_base - m_cp).max(0.0);
+        let inter = (a + b - union).clamp(0.0, a.min(b));
+
+        MissClassification {
+            unavoidable: (m_base - union).max(0.0) / m_base,
+            only_compression: (a - inter) / m_base,
+            only_prefetching: (b - inter) / m_base,
+            either: inter / m_base,
+            prefetches_remaining: p_cp / m_base,
+            prefetches_avoided: (p_p - p_cp).max(0.0) / m_base,
+        }
+    }
+}
+
+/// Sample mean and half-width of the 95% confidence interval (normal
+/// approximation, the paper's space-variability methodology [3]).
+pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let ci = 1.96 * (var / n).sqrt();
+    (mean, ci)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimStats;
+
+    fn run_with(cycles: u64, misses: u64, prefetches: u64) -> RunResult {
+        let mut stats = SimStats::default();
+        stats.l2.demand_misses = misses;
+        stats.l2.prefetches_issued = prefetches;
+        RunResult { stats, cycles, clock_ghz: 5 }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let base = run_with(2000, 0, 0);
+        let enh = run_with(1000, 0, 0);
+        assert!((speedup(&base, &enh) - 2.0).abs() < 1e-12);
+        assert!((speedup_pct(&base, &enh) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interaction_signs() {
+        // Combined exceeds product → positive.
+        assert!(interaction(1.2, 1.1, 1.4) > 0.0);
+        // Combined below product → negative.
+        assert!(interaction(1.2, 1.1, 1.25) < 0.0);
+        // Exactly multiplicative → zero.
+        assert!(interaction(1.2, 1.5, 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_partitions_base_misses() {
+        let base = run_with(0, 1000, 0);
+        let compr = run_with(0, 800, 0);
+        let pf = run_with(0, 500, 700);
+        let both = run_with(0, 400, 550);
+        let c = MissClassification::from_runs(&base, &compr, &pf, &both);
+        let total = c.unavoidable + c.only_compression + c.only_prefetching + c.either;
+        assert!((total - 1.0).abs() < 1e-9, "classes partition the misses");
+        // A=200, B=500, union=600 → inter=100.
+        assert!((c.either - 0.1).abs() < 1e-9);
+        assert!((c.only_compression - 0.1).abs() < 1e-9);
+        assert!((c.only_prefetching - 0.4).abs() < 1e-9);
+        assert!((c.unavoidable - 0.4).abs() < 1e-9);
+        assert!((c.prefetches_avoided - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_math() {
+        let (m, ci) = mean_ci95(&[10.0, 10.0, 10.0]);
+        assert_eq!(m, 10.0);
+        assert_eq!(ci, 0.0);
+        let (m, ci) = mean_ci95(&[9.0, 11.0]);
+        assert_eq!(m, 10.0);
+        assert!(ci > 0.0);
+        let (m, ci) = mean_ci95(&[42.0]);
+        assert_eq!((m, ci), (42.0, 0.0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Simulation counters and derived metrics.
+
+use cmpsim_link::ChannelStats;
+
+/// Demand/prefetch counters for one cache level (aggregated over cores
+/// for the L1s; the L2 is already shared).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Demand accesses (loads, stores or fetches reaching this level).
+    pub accesses: u64,
+    /// Demand accesses that hit resident data.
+    pub hits: u64,
+    /// Demand accesses that missed (including partial hits on in-flight
+    /// prefetches, per the paper's EQ 3 definition).
+    pub demand_misses: u64,
+    /// First demand touches of prefetched lines — the paper's
+    /// *prefetch hits* (EQ 3/4 numerator).
+    pub prefetch_hits: u64,
+    /// Prefetches injected into the hierarchy at this level (after MSHR /
+    /// duplicate filtering) — EQ 2/4 denominator.
+    pub prefetches_issued: u64,
+    /// Prefetch fills that landed in the cache.
+    pub prefetch_fills: u64,
+    /// Prefetched lines evicted before any demand touch (useless).
+    pub useless_prefetch_evictions: u64,
+}
+
+impl LevelStats {
+    /// EQ 2: prefetches per 1000 instructions.
+    pub fn prefetch_rate(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.prefetches_issued as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// EQ 3: `PrefetchHits / (PrefetchHits + DemandMisses)`, in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        let denom = self.prefetch_hits + self.demand_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / denom as f64 * 100.0
+        }
+    }
+
+    /// EQ 4: `PrefetchHits / TotalPrefetches`, in percent.
+    pub fn accuracy_pct(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetches_issued as f64 * 100.0
+        }
+    }
+
+    /// Demand miss ratio (misses / accesses), in percent.
+    pub fn miss_ratio_pct(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / self.accesses as f64 * 100.0
+        }
+    }
+
+    /// Misses per 1000 instructions.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// Coherence activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// S-copies invalidated by exclusivity requests.
+    pub invalidations: u64,
+    /// Dirty M-copies recalled from L1s.
+    pub recalls: u64,
+    /// Store hits on Shared lines that required an upgrade round trip.
+    pub upgrades: u64,
+    /// L1 copies invalidated to maintain inclusion on L2 evictions.
+    pub inclusion_recalls: u64,
+}
+
+/// Every counter one simulation accumulates during measurement.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Instructions retired across all cores during measurement.
+    pub instructions: u64,
+    /// L1 instruction caches (all cores).
+    pub l1i: LevelStats,
+    /// L1 data caches (all cores).
+    pub l1d: LevelStats,
+    /// Shared L2.
+    pub l2: LevelStats,
+    /// L2 demand hits served from compressed lines (paid decompression).
+    pub l2_compressed_hits: u64,
+    /// Sum of L2 hit latencies (for the §5.3 average-hit-latency result).
+    pub l2_hit_latency_sum: u64,
+    /// L2 hits behind `l2_hit_latency_sum`.
+    pub l2_hit_latency_count: u64,
+    /// L2 misses that matched a dataless victim tag.
+    pub l2_victim_tag_hits: u64,
+    /// Harmful-prefetch detections (§3 cache-miss rule firings).
+    pub harmful_prefetch_detections: u64,
+    /// Sum and count of periodic effective-capacity-ratio samples
+    /// (Table 3's compression ratio).
+    pub capacity_ratio_sum: f64,
+    /// Number of capacity samples.
+    pub capacity_ratio_samples: u64,
+    /// Off-chip link counters.
+    pub link: ChannelStats,
+    /// Memory reads served.
+    pub mem_reads: u64,
+    /// Dirty L2 lines written back to memory.
+    pub mem_writes: u64,
+    /// Coherence activity.
+    pub coherence: CoherenceStats,
+    /// Prefetches dropped for MSHR pressure or duplication.
+    pub dropped_prefetches: u64,
+}
+
+impl SimStats {
+    /// Mean sampled compression ratio (1.0 when never sampled, i.e. the
+    /// uncompressed L2).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.capacity_ratio_samples == 0 {
+            1.0
+        } else {
+            self.capacity_ratio_sum / self.capacity_ratio_samples as f64
+        }
+    }
+
+    /// Mean L2 hit latency in cycles (§5.3).
+    pub fn avg_l2_hit_latency(&self) -> f64 {
+        if self.l2_hit_latency_count == 0 {
+            0.0
+        } else {
+            self.l2_hit_latency_sum as f64 / self.l2_hit_latency_count as f64
+        }
+    }
+}
+
+/// The outcome of one measured simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Counters accumulated during the measurement phase.
+    pub stats: SimStats,
+    /// Cycles from measurement start to the last core finishing its
+    /// instruction quota — the paper's runtime metric.
+    pub cycles: u64,
+    /// Core clock in GHz (to convert traffic to GB/s).
+    pub clock_ghz: u32,
+}
+
+impl RunResult {
+    /// Aggregate instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stats.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Off-chip traffic in GB/s over the measured window (EQ 1's demand
+    /// when run with an infinite link).
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stats.link.total_bytes as f64 / self.cycles as f64
+                * f64::from(self.clock_ghz)
+        }
+    }
+
+    /// Runtime in cycles (lower is better; speedups divide these).
+    pub fn runtime(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_metrics() {
+        let l = LevelStats {
+            accesses: 1000,
+            hits: 900,
+            demand_misses: 100,
+            prefetch_hits: 100,
+            prefetches_issued: 200,
+            ..Default::default()
+        };
+        assert!((l.coverage_pct() - 50.0).abs() < 1e-9);
+        assert!((l.accuracy_pct() - 50.0).abs() < 1e-9);
+        assert!((l.miss_ratio_pct() - 10.0).abs() < 1e-9);
+        assert!((l.prefetch_rate(100_000) - 2.0).abs() < 1e-9);
+        assert!((l.mpki(100_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let l = LevelStats::default();
+        assert_eq!(l.coverage_pct(), 0.0);
+        assert_eq!(l.accuracy_pct(), 0.0);
+        assert_eq!(l.miss_ratio_pct(), 0.0);
+        assert_eq!(l.prefetch_rate(0), 0.0);
+    }
+
+    #[test]
+    fn run_result_metrics() {
+        let mut stats = SimStats { instructions: 5_000_000, ..Default::default() };
+        stats.link.total_bytes = 4_000_000;
+        let r = RunResult { stats, cycles: 1_000_000, clock_ghz: 5 };
+        assert!((r.ipc() - 5.0).abs() < 1e-9);
+        assert!((r.bandwidth_gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_ratio_defaults_to_one() {
+        let s = SimStats::default();
+        assert_eq!(s.compression_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! The discrete-event CMP simulator.
+
+mod engine;
+mod l2;
+
+pub use engine::System;
+

@@ -1,0 +1,1068 @@
+//! The event-driven simulation engine.
+//!
+//! A single binary-heap event queue drives five event kinds:
+//! core execution steps, L2 accesses, off-chip request launches, memory
+//! responses, and L1 fills. Cores batch privately between L1 misses (all
+//! L1-hit work is core-local), so events exist only where components
+//! interact — L2 banks, the link, memory, and coherence.
+//!
+//! Timing approximation: a core may run a few tens of cycles ahead of
+//! global event time (bounded by its 128-instruction ROB run-ahead), so
+//! link-ordering skew is bounded by the same window; see DESIGN.md.
+
+use crate::config::{PrefetchMode, SystemConfig};
+use crate::core_model::{Core, Wait};
+use crate::stats::{RunResult, SimStats};
+use crate::system::l2::{EvictedL2, L2Cache};
+use cmpsim_cache::{
+    AccessKind, BlockAddr, CompressionDecision, CompressionPolicy, SetAssocCache, SetAssocConfig,
+};
+use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
+use cmpsim_link::{Channel, Message};
+use cmpsim_mem::MemoryController;
+use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
+use cmpsim_trace::{CoreGenerator, TraceEvent, WorkloadSpec};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Sample the effective capacity ratio every this many demand L2 accesses.
+const CAPACITY_SAMPLE_PERIOD: u64 = 4096;
+/// Bound on the per-core queue of L2 prefetches awaiting MSHR slots.
+const PF_QUEUE_LIMIT: usize = 64;
+/// L2 bank busy time per access (pipelined banks).
+const BANK_OCCUPANCY: u64 = 2;
+
+/// Which private L1 a request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L1Kind {
+    I,
+    D,
+}
+
+/// Who initiated an L2 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// A demand miss from an L1.
+    Demand,
+    /// An L1 prefetcher's request.
+    L1Prefetch,
+    /// An L2 prefetcher's request (fills L2 only).
+    L2Prefetch,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    CoreStep { core: u8 },
+    L2Access { core: u8, addr: BlockAddr, store: bool, upgrade: bool, origin: Origin, l1: L1Kind },
+    LinkRequest { addr: BlockAddr },
+    MemResponse { addr: BlockAddr },
+    L2Fill { addr: BlockAddr },
+    L1Fill { core: u8, l1: L1Kind, addr: BlockAddr, prefetched: bool, store: bool },
+}
+
+/// An in-flight request from one core's L1s (demand or L1 prefetch).
+#[derive(Debug)]
+struct CoreMshr {
+    l1: L1Kind,
+    prefetched: bool,
+    store: bool,
+    load_seqs: Vec<u64>,
+}
+
+/// A consumer of an in-flight L2 memory fetch.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    core: u8,
+    l1: L1Kind,
+    store: bool,
+    prefetched: bool,
+}
+
+/// An in-flight L2 miss being fetched from memory.
+#[derive(Debug)]
+struct L2Mshr {
+    waiters: Vec<Waiter>,
+    /// Core whose MSHR budget a prefetch-only fetch occupies.
+    prefetch_core: Option<u8>,
+}
+
+/// The assembled CMP system.
+///
+/// Construct with [`System::new`] and execute with [`System::run`].
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    values: cmpsim_trace::ValueProfile,
+    seg_cache: HashMap<u64, u8>,
+
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    event_pool: Vec<Event>,
+
+    cores: Vec<Option<Core>>,
+    l1i: Vec<SetAssocCache<MsiState>>,
+    l1d: Vec<SetAssocCache<MsiState>>,
+    core_mshrs: Vec<HashMap<BlockAddr, CoreMshr>>,
+
+    l2: L2Cache,
+    bank_free: Vec<u64>,
+    l2_mshrs: HashMap<BlockAddr, L2Mshr>,
+    link: Channel,
+    mem: MemoryController,
+
+    pf_l1i: Vec<StridePrefetcher>,
+    pf_l1d: Vec<StridePrefetcher>,
+    pf_l2: Vec<StridePrefetcher>,
+    th_l1i: Vec<PrefetchThrottle>,
+    th_l1d: Vec<PrefetchThrottle>,
+    th_l2: PrefetchThrottle,
+    pf_queue: Vec<VecDeque<BlockAddr>>,
+
+    policy: CompressionPolicy,
+
+    stats: SimStats,
+    l2_demand_accesses: u64,
+
+    warmup_per_core: u64,
+    measure_per_core: u64,
+    warm_flags: Vec<bool>,
+    warmed: usize,
+    measure_started: bool,
+    measure_start: u64,
+    finished: usize,
+}
+
+impl System {
+    /// Assembles a system for `cfg` running `spec` on every core.
+    pub fn new(cfg: SystemConfig, spec: &WorkloadSpec) -> Self {
+        cfg.validate();
+        spec.validate();
+        let n = usize::from(cfg.cores);
+        let l1_cfg = SetAssocConfig::with_capacity(cfg.l1_bytes, cfg.l1_ways);
+        let values = spec.value_profile(cfg.seed);
+        let cores = (0..cfg.cores)
+            .map(|c| Some(Core::new(c, CoreGenerator::new(spec, c, cfg.seed))))
+            .collect();
+        System {
+            values,
+            seg_cache: HashMap::new(),
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            event_pool: Vec::new(),
+            cores,
+            l1i: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
+            l1d: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
+            core_mshrs: (0..n).map(|_| HashMap::new()).collect(),
+            l2: L2Cache::new(cfg.l2_bytes, cfg.uses_vsc()),
+            bank_free: vec![0; cfg.l2_banks],
+            l2_mshrs: HashMap::new(),
+            link: Channel::new(cfg.link, cfg.clock_ghz),
+            mem: MemoryController::new(cfg.mem_latency),
+            pf_l1i: (0..n).map(|_| StridePrefetcher::new(PrefetcherConfig::l1())).collect(),
+            pf_l1d: (0..n).map(|_| StridePrefetcher::new(PrefetcherConfig::l1())).collect(),
+            pf_l2: (0..n)
+                .map(|_| {
+                    StridePrefetcher::new(PrefetcherConfig {
+                        startup_prefetches: cfg.l2_prefetch_degree,
+                        ..PrefetcherConfig::l2()
+                    })
+                })
+                .collect(),
+            th_l1i: (0..n)
+                .map(|_| PrefetchThrottle::new(PrefetcherConfig::l1().startup_prefetches))
+                .collect(),
+            th_l1d: (0..n)
+                .map(|_| PrefetchThrottle::new(PrefetcherConfig::l1().startup_prefetches))
+                .collect(),
+            th_l2: PrefetchThrottle::new(cfg.l2_prefetch_degree),
+            pf_queue: (0..n).map(|_| VecDeque::new()).collect(),
+            policy: CompressionPolicy::new(cfg.mem_latency as u32, cfg.decompression_latency as u32),
+            stats: SimStats::default(),
+            l2_demand_accesses: 0,
+            warmup_per_core: 0,
+            measure_per_core: 0,
+            warm_flags: vec![false; n],
+            warmed: 0,
+            measure_started: false,
+            measure_start: 0,
+            finished: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    // ---------------------------------------------------------------- run
+
+    /// Warms up for `warmup_per_core` instructions per core (stats
+    /// frozen), then measures a fixed quota of `measure_per_core`
+    /// instructions per core. Returns the measured counters and runtime.
+    pub fn run(&mut self, warmup_per_core: u64, measure_per_core: u64) -> RunResult {
+        assert!(measure_per_core > 0, "nothing to measure");
+        self.warmup_per_core = warmup_per_core;
+        self.measure_per_core = measure_per_core;
+        if warmup_per_core == 0 {
+            self.measure_started = true;
+            self.measure_start = 0;
+            for c in self.cores.iter_mut().flatten() {
+                c.quota = measure_per_core;
+            }
+        }
+        for c in 0..self.cfg.cores {
+            self.schedule(0, Event::CoreStep { core: c });
+        }
+        while let Some(Reverse((time, _, idx))) = self.queue.pop() {
+            if self.finished == usize::from(self.cfg.cores) {
+                break;
+            }
+            self.now = time;
+            let ev = self.event_pool[idx];
+            self.dispatch(ev);
+        }
+        self.collect()
+    }
+
+    fn collect(&mut self) -> RunResult {
+        self.stats.link = *self.link.stats();
+        self.stats.mem_reads = self.mem.stats().reads;
+        let finish = self
+            .cores
+            .iter()
+            .flatten()
+            .map(|c| c.finished_at.unwrap_or(c.cycle))
+            .max()
+            .unwrap_or(self.now);
+        RunResult {
+            stats: self.stats.clone(),
+            cycles: finish.saturating_sub(self.measure_start),
+            clock_ghz: self.cfg.clock_ghz,
+        }
+    }
+
+    fn schedule(&mut self, time: u64, ev: Event) {
+        self.seq += 1;
+        let idx = self.event_pool.len();
+        self.event_pool.push(ev);
+        self.queue.push(Reverse((time, self.seq, idx)));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::CoreStep { core } => self.step_core(usize::from(core)),
+            Event::L2Access { core, addr, store, upgrade, origin, l1 } => {
+                self.handle_l2_access(usize::from(core), addr, store, upgrade, origin, l1)
+            }
+            Event::LinkRequest { addr } => self.handle_link_request(addr),
+            Event::MemResponse { addr } => self.handle_mem_response(addr),
+            Event::L2Fill { addr } => self.handle_l2_fill(addr),
+            Event::L1Fill { core, l1, addr, prefetched, store } => {
+                self.handle_l1_fill(usize::from(core), l1, addr, prefetched, store)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    /// FPC segment count of a line's (deterministic) contents, memoized.
+    fn segments_of(&mut self, addr: BlockAddr) -> u8 {
+        let values = &self.values;
+        *self
+            .seg_cache
+            .entry(addr.0)
+            .or_insert_with(|| values.segments_of(addr.0))
+    }
+
+    /// Segments a data message for `addr` occupies on the link.
+    fn link_segments(&mut self, addr: BlockAddr) -> u8 {
+        if self.cfg.link_compression {
+            self.segments_of(addr)
+        } else {
+            cmpsim_fpc::MAX_SEGMENTS
+        }
+    }
+
+    /// Segments `addr` occupies when stored in the L2.
+    fn store_segments(&mut self, addr: BlockAddr) -> u8 {
+        if self.cfg.cache_compression {
+            let compress = !self.cfg.adaptive_compression
+                || self.policy.decision() == CompressionDecision::Compress;
+            if compress {
+                return self.segments_of(addr);
+            }
+        }
+        cmpsim_fpc::MAX_SEGMENTS
+    }
+
+    fn adaptive_pf(&self) -> bool {
+        self.cfg.prefetch == PrefetchMode::Adaptive
+    }
+
+    fn l1_degree(&self, kind: L1Kind, core: usize) -> u8 {
+        match self.cfg.prefetch {
+            PrefetchMode::Off => 0,
+            PrefetchMode::Stride => PrefetcherConfig::l1().startup_prefetches,
+            PrefetchMode::Adaptive => match kind {
+                L1Kind::I => self.th_l1i[core].degree(),
+                L1Kind::D => self.th_l1d[core].degree(),
+            },
+        }
+    }
+
+    fn l2_degree(&self) -> u8 {
+        match self.cfg.prefetch {
+            PrefetchMode::Off => 0,
+            PrefetchMode::Stride => self.cfg.l2_prefetch_degree,
+            PrefetchMode::Adaptive => self.th_l2.degree(),
+        }
+    }
+
+    fn div_ceil_width(&self, insts: u64) -> u64 {
+        insts.div_ceil(self.cfg.issue_width)
+    }
+
+    // --------------------------------------------------------- core steps
+
+    fn step_core(&mut self, c: usize) {
+        let Some(mut core) = self.cores[c].take() else { return };
+        if matches!(core.waiting, Wait::Done) {
+            self.cores[c] = Some(core);
+            return;
+        }
+        core.cycle = core.cycle.max(self.now);
+        core.waiting = Wait::Ready;
+
+        loop {
+            if core.insts >= core.quota {
+                self.finish_core(&mut core);
+                break;
+            }
+            let issuable = core.issuable(self.cfg.rob_size);
+            if issuable == 0 {
+                core.waiting = Wait::Rob;
+                break;
+            }
+            let mut ev = core.next_event();
+            if ev.gap > issuable {
+                core.insts += issuable;
+                core.cycle += self.div_ceil_width(issuable);
+                if self.measure_started {
+                    self.stats.instructions += issuable;
+                }
+                ev.gap -= issuable;
+                core.pending = Some(ev);
+                core.waiting = Wait::Rob;
+                self.check_warmup(c, &mut core);
+                break;
+            }
+            let remaining = core.quota - core.insts;
+            if ev.gap > remaining {
+                core.insts += remaining;
+                core.cycle += self.div_ceil_width(remaining);
+                if self.measure_started {
+                    self.stats.instructions += remaining;
+                }
+                self.finish_core(&mut core);
+                break;
+            }
+            core.insts += ev.gap;
+            core.cycle += self.div_ceil_width(ev.gap);
+            if self.measure_started {
+                self.stats.instructions += ev.gap;
+            }
+            self.check_warmup(c, &mut core);
+
+            let keep_going = match ev.event {
+                TraceEvent::IFetch(line) => self.access_l1i(c, &mut core, line),
+                TraceEvent::Data { kind, line, dependent } => {
+                    self.access_l1d(c, &mut core, kind, line, dependent)
+                }
+            };
+            if !keep_going {
+                break;
+            }
+        }
+        self.cores[c] = Some(core);
+    }
+
+    fn finish_core(&mut self, core: &mut Core) {
+        if core.finished_at.is_none() {
+            core.finished_at = Some(core.cycle);
+            core.waiting = Wait::Done;
+            self.finished += 1;
+        }
+    }
+
+    fn check_warmup(&mut self, c: usize, core: &mut Core) {
+        if self.measure_started || self.warm_flags[c] || core.insts < self.warmup_per_core {
+            return;
+        }
+        self.warm_flags[c] = true;
+        self.warmed += 1;
+        if self.warmed == usize::from(self.cfg.cores) {
+            self.begin_measure(c, core);
+        }
+    }
+
+    fn begin_measure(&mut self, current: usize, core: &mut Core) {
+        self.measure_started = true;
+        self.measure_start = self.now.max(core.cycle);
+        self.stats = SimStats::default();
+        self.link.reset_stats();
+        self.mem.reset_stats();
+        self.l2.reset_stats();
+        for l1 in self.l1i.iter_mut().chain(self.l1d.iter_mut()) {
+            l1.reset_stats();
+        }
+        for pf in self
+            .pf_l1i
+            .iter_mut()
+            .chain(self.pf_l1d.iter_mut())
+            .chain(self.pf_l2.iter_mut())
+        {
+            pf.reset_stats();
+        }
+        self.l2_demand_accesses = 0;
+        core.quota = core.insts + self.measure_per_core;
+        for (i, slot) in self.cores.iter_mut().enumerate() {
+            if i == current {
+                continue;
+            }
+            if let Some(c) = slot.as_mut() {
+                c.quota = c.insts + self.measure_per_core;
+            }
+        }
+    }
+
+    /// Handles an instruction fetch. Returns false when the core stalls.
+    fn access_l1i(&mut self, c: usize, core: &mut Core, line: BlockAddr) -> bool {
+        if let Some((_, first)) = self.l1i[c].lookup(line) {
+            self.stats.l1i.accesses += 1;
+            self.stats.l1i.hits += 1;
+            if first {
+                self.stats.l1i.prefetch_hits += 1;
+                if self.adaptive_pf() {
+                    self.th_l1i[c].record_useful();
+                }
+            }
+            let deg = self.l1_degree(L1Kind::I, c);
+            if deg > 0 {
+                if let Some(next) = self.pf_l1i[c].on_access(line, deg) {
+                    self.issue_l1_prefetch(c, core, L1Kind::I, next, core.cycle);
+                }
+            }
+            return true;
+        }
+        // Miss: merged or new, the frontend stalls either way.
+        if let Some(m) = self.core_mshrs[c].get_mut(&line) {
+            self.stats.l1i.accesses += 1;
+            self.stats.l1i.demand_misses += 1;
+            m.prefetched = false; // partial hit: demand takes over
+            core.waiting = Wait::IFetch(line);
+            return false;
+        }
+        if core.outstanding >= self.cfg.mshrs_per_core {
+            core.pending = Some(cmpsim_trace::TimedEvent {
+                gap: 0,
+                event: TraceEvent::IFetch(line),
+            });
+            core.waiting = Wait::Mshr;
+            return false;
+        }
+        self.stats.l1i.accesses += 1;
+        self.stats.l1i.demand_misses += 1;
+        let deg = self.l1_degree(L1Kind::I, c);
+        let burst = if deg > 0 { self.pf_l1i[c].on_miss(line, deg) } else { Vec::new() };
+        self.core_mshrs[c].insert(
+            line,
+            CoreMshr { l1: L1Kind::I, prefetched: false, store: false, load_seqs: Vec::new() },
+        );
+        core.outstanding += 1;
+        let at = core.cycle + self.cfg.l1_latency + self.cfg.l1_to_l2_latency;
+        self.schedule(
+            at,
+            Event::L2Access {
+                core: c as u8,
+                addr: line,
+                store: false,
+                upgrade: false,
+                origin: Origin::Demand,
+                l1: L1Kind::I,
+            },
+        );
+        for p in burst {
+            self.issue_l1_prefetch(c, core, L1Kind::I, p, core.cycle);
+        }
+        core.waiting = Wait::IFetch(line);
+        false
+    }
+
+    /// Handles a data access. Returns false when the core stalls.
+    fn access_l1d(
+        &mut self,
+        c: usize,
+        core: &mut Core,
+        kind: AccessKind,
+        line: BlockAddr,
+        dependent: bool,
+    ) -> bool {
+        let store = kind.is_write();
+        if let Some((state, first)) = self.l1d[c].lookup(line) {
+            let needs_upgrade = store && *state == MsiState::Shared;
+            self.stats.l1d.accesses += 1;
+            self.stats.l1d.hits += 1;
+            if first {
+                self.stats.l1d.prefetch_hits += 1;
+                if self.adaptive_pf() {
+                    self.th_l1d[c].record_useful();
+                }
+            }
+            if needs_upgrade
+                && !self.core_mshrs[c].contains_key(&line)
+                && core.outstanding < self.cfg.mshrs_per_core
+            {
+                self.stats.coherence.upgrades += 1;
+                self.core_mshrs[c].insert(
+                    line,
+                    CoreMshr { l1: L1Kind::D, prefetched: false, store: true, load_seqs: Vec::new() },
+                );
+                core.outstanding += 1;
+                let at = core.cycle + self.cfg.l1_latency + self.cfg.l1_to_l2_latency;
+                self.schedule(
+                    at,
+                    Event::L2Access {
+                        core: c as u8,
+                        addr: line,
+                        store: true,
+                        upgrade: true,
+                        origin: Origin::Demand,
+                        l1: L1Kind::D,
+                    },
+                );
+            }
+            let deg = self.l1_degree(L1Kind::D, c);
+            if deg > 0 {
+                if let Some(next) = self.pf_l1d[c].on_access(line, deg) {
+                    self.issue_l1_prefetch(c, core, L1Kind::D, next, core.cycle);
+                }
+            }
+            return true;
+        }
+
+        // Miss. Merge into an in-flight request when possible.
+        let seq = core.insts;
+        if let Some(m) = self.core_mshrs[c].get_mut(&line) {
+            self.stats.l1d.accesses += 1;
+            self.stats.l1d.demand_misses += 1;
+            m.prefetched = false;
+            if store {
+                m.store = true;
+            } else {
+                m.load_seqs.push(seq);
+                core.track_load(seq);
+            }
+            if dependent && !store {
+                core.waiting = Wait::Load(line);
+                return false;
+            }
+            return true;
+        }
+        if core.outstanding >= self.cfg.mshrs_per_core {
+            core.pending = Some(cmpsim_trace::TimedEvent {
+                gap: 0,
+                event: TraceEvent::Data { kind, line, dependent },
+            });
+            core.waiting = Wait::Mshr;
+            return false;
+        }
+        self.stats.l1d.accesses += 1;
+        self.stats.l1d.demand_misses += 1;
+        let deg = self.l1_degree(L1Kind::D, c);
+        let burst = if deg > 0 { self.pf_l1d[c].on_miss(line, deg) } else { Vec::new() };
+        let mut load_seqs = Vec::new();
+        if !store {
+            load_seqs.push(seq);
+            core.track_load(seq);
+        }
+        self.core_mshrs[c]
+            .insert(line, CoreMshr { l1: L1Kind::D, prefetched: false, store, load_seqs });
+        core.outstanding += 1;
+        let at = core.cycle + self.cfg.l1_latency + self.cfg.l1_to_l2_latency;
+        self.schedule(
+            at,
+            Event::L2Access {
+                core: c as u8,
+                addr: line,
+                store,
+                upgrade: false,
+                origin: Origin::Demand,
+                l1: L1Kind::D,
+            },
+        );
+        for p in burst {
+            self.issue_l1_prefetch(c, core, L1Kind::D, p, core.cycle);
+        }
+        if dependent && !store {
+            core.waiting = Wait::Load(line);
+            return false;
+        }
+        true
+    }
+
+    fn issue_l1_prefetch(&mut self, c: usize, core: &mut Core, kind: L1Kind, addr: BlockAddr, at: u64) {
+        let present = match kind {
+            L1Kind::I => self.l1i[c].contains(addr),
+            L1Kind::D => self.l1d[c].contains(addr),
+        };
+        if present || self.core_mshrs[c].contains_key(&addr) {
+            return;
+        }
+        if core.outstanding >= self.cfg.mshrs_per_core {
+            self.stats.dropped_prefetches += 1;
+            return;
+        }
+        match kind {
+            L1Kind::I => self.stats.l1i.prefetches_issued += 1,
+            L1Kind::D => self.stats.l1d.prefetches_issued += 1,
+        }
+        self.core_mshrs[c]
+            .insert(addr, CoreMshr { l1: kind, prefetched: true, store: false, load_seqs: Vec::new() });
+        core.outstanding += 1;
+        self.schedule(
+            at + self.cfg.l1_to_l2_latency,
+            Event::L2Access {
+                core: c as u8,
+                addr,
+                store: false,
+                upgrade: false,
+                origin: Origin::L1Prefetch,
+                l1: kind,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------ the L2
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_l2_access(
+        &mut self,
+        c: usize,
+        addr: BlockAddr,
+        store: bool,
+        upgrade: bool,
+        origin: Origin,
+        l1: L1Kind,
+    ) {
+        let bank = addr.bank_index(self.cfg.l2_banks);
+        let start = self.now.max(self.bank_free[bank]);
+        self.bank_free[bank] = start + BANK_OCCUPANCY;
+        let tag_done = start + self.cfg.l2_latency;
+        let demandish = origin != Origin::L2Prefetch;
+
+        let info = self.l2.lookup(addr);
+
+        if origin == Origin::Demand {
+            self.l2_demand_accesses += 1;
+            if self.l2.is_vsc() && self.l2_demand_accesses % CAPACITY_SAMPLE_PERIOD == 0 {
+                self.stats.capacity_ratio_sum += self.l2.capacity_ratio();
+                self.stats.capacity_ratio_samples += 1;
+            }
+        }
+
+        if info.hit {
+            let decomp = if info.compressed && !upgrade {
+                self.cfg.decompression_latency
+            } else {
+                0
+            };
+            // A first touch by an L1 prefetch still means the L2 prefetch
+            // was useful (the line is on its way to the core), so credit
+            // it for any demand-side origin.
+            if demandish && info.prefetch_first_touch {
+                self.stats.l2.prefetch_hits += 1;
+                if self.adaptive_pf() {
+                    self.th_l2.record_useful();
+                }
+            }
+            if origin == Origin::Demand {
+                self.stats.l2.accesses += 1;
+                self.stats.l2.hits += 1;
+                if info.compressed {
+                    self.stats.l2_compressed_hits += 1;
+                }
+                self.stats.l2_hit_latency_sum += self.cfg.l2_latency + decomp;
+                self.stats.l2_hit_latency_count += 1;
+                if self.cfg.cache_compression && self.cfg.adaptive_compression {
+                    self.policy.on_hit(info.lru_depth, info.compressed, 4);
+                }
+            }
+            if demandish {
+                let deg = self.l2_degree();
+                if deg > 0 {
+                    if let Some(next) = self.pf_l2[c].on_access(addr, deg) {
+                        self.issue_l2_prefetch(c, next, tag_done);
+                    }
+                }
+            }
+            if origin == Origin::L2Prefetch {
+                return; // already resident: redundant prefetch
+            }
+            // Coherence + response.
+            let req = if upgrade {
+                L1Request::Upgrade
+            } else if store {
+                L1Request::GetX
+            } else {
+                L1Request::GetS
+            };
+            let actions = match self.l2.meta_mut(addr) {
+                Some(dir) => dir.handle(CoreId(c as u8), req),
+                None => Vec::new(),
+            };
+            let probed = !actions.is_empty();
+            self.apply_probes(addr, &actions, false);
+            let resp = tag_done + decomp + if probed { self.cfg.probe_latency } else { 0 };
+            self.schedule(
+                resp + self.cfg.l1_to_l2_latency,
+                Event::L1Fill {
+                    core: c as u8,
+                    l1,
+                    addr,
+                    prefetched: origin == Origin::L1Prefetch,
+                    store,
+                },
+            );
+            return;
+        }
+
+        // ------------------------------------------------------- L2 miss
+        if origin == Origin::Demand {
+            self.stats.l2.accesses += 1;
+            self.stats.l2.demand_misses += 1;
+            if info.victim_tag {
+                self.stats.l2_victim_tag_hits += 1;
+                if self.cfg.cache_compression && self.cfg.adaptive_compression {
+                    self.policy.on_victim_tag_miss();
+                }
+            }
+            if self.adaptive_pf() && self.l2.harmful_prefetch_signal(addr) {
+                self.stats.harmful_prefetch_detections += 1;
+                self.th_l2.record_bad();
+            }
+        }
+        if demandish {
+            let deg = self.l2_degree();
+            if deg > 0 {
+                let burst = self.pf_l2[c].on_miss(addr, deg);
+                for p in burst {
+                    self.issue_l2_prefetch(c, p, tag_done);
+                }
+            }
+        }
+
+        if let Some(m) = self.l2_mshrs.get_mut(&addr) {
+            if origin != Origin::L2Prefetch {
+                m.waiters.push(Waiter {
+                    core: c as u8,
+                    l1,
+                    store,
+                    prefetched: origin == Origin::L1Prefetch,
+                });
+            }
+            return;
+        }
+        let mut mshr = L2Mshr { waiters: Vec::new(), prefetch_core: None };
+        if origin == Origin::L2Prefetch {
+            mshr.prefetch_core = Some(c as u8);
+        } else {
+            mshr.waiters.push(Waiter {
+                core: c as u8,
+                l1,
+                store,
+                prefetched: origin == Origin::L1Prefetch,
+            });
+        }
+        self.l2_mshrs.insert(addr, mshr);
+        self.schedule(tag_done, Event::LinkRequest { addr });
+    }
+
+    fn handle_link_request(&mut self, addr: BlockAddr) {
+        let for_prefetch = self
+            .l2_mshrs
+            .get(&addr)
+            .map(|m| m.waiters.iter().all(|w| w.prefetched))
+            .unwrap_or(true);
+        let tr = self.link.send(self.now, &Message::read_request(addr, for_prefetch));
+        self.schedule(tr.done + self.cfg.mem_latency, Event::MemResponse { addr });
+    }
+
+    fn handle_mem_response(&mut self, addr: BlockAddr) {
+        let link_compression = self.cfg.link_compression;
+        let fresh = if link_compression {
+            self.segments_of(addr)
+        } else {
+            cmpsim_fpc::MAX_SEGMENTS
+        };
+        let (_, form) = self.mem.read(addr, self.now, || fresh);
+        let segments = if link_compression { form.segments } else { cmpsim_fpc::MAX_SEGMENTS };
+        let for_prefetch = self
+            .l2_mshrs
+            .get(&addr)
+            .map(|m| m.waiters.iter().all(|w| w.prefetched))
+            .unwrap_or(true);
+        let tr = self
+            .link
+            .send(self.now, &Message::data_response(addr, segments, for_prefetch));
+        self.schedule(tr.done, Event::L2Fill { addr });
+    }
+
+    fn handle_l2_fill(&mut self, addr: BlockAddr) {
+        let Some(mshr) = self.l2_mshrs.remove(&addr) else { return };
+        let prefetched_fill =
+            mshr.waiters.is_empty() || mshr.waiters.iter().all(|w| w.prefetched);
+        let seg_store = self.store_segments(addr);
+        let evicted = self.l2.fill(addr, seg_store, prefetched_fill, DirEntry::new());
+        if prefetched_fill {
+            self.stats.l2.prefetch_fills += 1;
+        }
+        for e in evicted {
+            self.handle_l2_eviction(e);
+        }
+
+        // Service the waiters in arrival order.
+        let stored_compressed = seg_store < cmpsim_fpc::MAX_SEGMENTS;
+        let decomp = if stored_compressed { self.cfg.decompression_latency } else { 0 };
+        for w in &mshr.waiters {
+            let req = if w.store { L1Request::GetX } else { L1Request::GetS };
+            let actions = match self.l2.meta_mut(addr) {
+                Some(dir) => dir.handle(CoreId(w.core), req),
+                None => Vec::new(),
+            };
+            self.apply_probes(addr, &actions, false);
+            self.schedule(
+                self.now + self.cfg.l1_to_l2_latency + decomp,
+                Event::L1Fill {
+                    core: w.core,
+                    l1: w.l1,
+                    addr,
+                    prefetched: w.prefetched,
+                    store: w.store,
+                },
+            );
+        }
+
+        // A prefetch-only fetch frees its issuer's MSHR budget here.
+        if let Some(pc) = mshr.prefetch_core {
+            let pc = usize::from(pc);
+            if let Some(core) = self.cores[pc].as_mut() {
+                core.outstanding = core.outstanding.saturating_sub(1);
+                if core.waiting == Wait::Mshr {
+                    self.schedule(self.now, Event::CoreStep { core: pc as u8 });
+                }
+            }
+            self.drain_pf_queue(pc);
+        }
+    }
+
+    fn handle_l2_eviction(&mut self, mut e: EvictedL2) {
+        let actions = e.dir.recall_all();
+        if !actions.is_empty() {
+            self.stats.coherence.inclusion_recalls += actions.len() as u64;
+            self.apply_probes(e.addr, &actions, true);
+        }
+        if e.was_unused_prefetch {
+            self.stats.l2.useless_prefetch_evictions += 1;
+            if self.adaptive_pf() {
+                self.th_l2.record_bad();
+            }
+        }
+        if e.dir.is_dirty() {
+            let seg = self.link_segments(e.addr);
+            self.link.send(self.now, &Message::writeback(e.addr, seg));
+            self.mem.write(e.addr, seg);
+            self.stats.mem_writes += 1;
+        }
+    }
+
+    /// Applies coherence probes to the target L1s structurally. Probe
+    /// latency is charged by the caller on the response path.
+    fn apply_probes(&mut self, addr: BlockAddr, actions: &[DirAction], inclusion: bool) {
+        for a in actions {
+            let t = a.target().index();
+            match a {
+                DirAction::Invalidate(_) | DirAction::RecallInvalidate(_) => {
+                    let hit = self.l1d[t].invalidate(addr).is_some()
+                        || self.l1i[t].invalidate(addr).is_some();
+                    if hit && !inclusion {
+                        match a {
+                            DirAction::Invalidate(_) => self.stats.coherence.invalidations += 1,
+                            _ => self.stats.coherence.recalls += 1,
+                        }
+                    }
+                }
+                DirAction::RecallDowngrade(_) => {
+                    if let Some(state) = self.l1d[t].peek_mut(addr) {
+                        *state = MsiState::Shared;
+                    }
+                    if !inclusion {
+                        self.stats.coherence.recalls += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------ L2 prefetches
+
+    fn issue_l2_prefetch(&mut self, c: usize, addr: BlockAddr, at: u64) {
+        if self.l2.contains(addr) || self.l2_mshrs.contains_key(&addr) {
+            return;
+        }
+        let outstanding = self.cores[c].as_ref().map(|k| k.outstanding).unwrap_or(0);
+        if outstanding >= self.cfg.mshrs_per_core {
+            if self.pf_queue[c].len() < PF_QUEUE_LIMIT {
+                if !self.pf_queue[c].contains(&addr) {
+                    self.pf_queue[c].push_back(addr);
+                }
+            } else {
+                self.stats.dropped_prefetches += 1;
+            }
+            return;
+        }
+        self.do_issue_l2_prefetch(c, addr, at);
+    }
+
+    fn do_issue_l2_prefetch(&mut self, c: usize, addr: BlockAddr, at: u64) {
+        self.stats.l2.prefetches_issued += 1;
+        if let Some(core) = self.cores[c].as_mut() {
+            core.outstanding += 1;
+        }
+        self.l2_mshrs
+            .insert(addr, L2Mshr { waiters: Vec::new(), prefetch_core: Some(c as u8) });
+        self.schedule(at.max(self.now), Event::LinkRequest { addr });
+    }
+
+    fn drain_pf_queue(&mut self, c: usize) {
+        loop {
+            let outstanding = self.cores[c].as_ref().map(|k| k.outstanding).unwrap_or(usize::MAX);
+            if outstanding >= self.cfg.mshrs_per_core {
+                return;
+            }
+            let Some(addr) = self.pf_queue[c].pop_front() else { return };
+            if self.l2.contains(addr) || self.l2_mshrs.contains_key(&addr) {
+                continue; // became stale while queued
+            }
+            if self.l2_degree() == 0 {
+                continue; // throttle went to zero meanwhile
+            }
+            self.do_issue_l2_prefetch(c, addr, self.now);
+        }
+    }
+
+    // ---------------------------------------------------------- L1 fills
+
+    fn handle_l1_fill(&mut self, c: usize, l1: L1Kind, addr: BlockAddr, prefetched: bool, store: bool) {
+        // Re-validate against the directory: a probe or inclusion recall
+        // may have retargeted this line while the fill was in flight (a
+        // real protocol would NACK/replay; we resolve it at fill time).
+        let me = CoreId(c as u8);
+        let fill_state = match self.l2.meta_mut(addr) {
+            Some(dir) => {
+                if store && dir.owner() != Some(me) {
+                    if dir.sharers().contains(me) {
+                        Some(MsiState::Shared)
+                    } else {
+                        None
+                    }
+                } else if !store && !dir.sharers().contains(me) {
+                    None
+                } else if store {
+                    Some(MsiState::Modified)
+                } else {
+                    Some(MsiState::Shared)
+                }
+            }
+            // The L2 dropped the line while the fill was in flight; the
+            // inclusion recall could not reach an in-flight copy, so the
+            // fill is abandoned (the access will re-miss).
+            None => None,
+        };
+        let Some(state) = fill_state else {
+            self.complete_core_mshr(c, addr);
+            return;
+        };
+        let victim = match l1 {
+            L1Kind::I => {
+                self.stats.l1i.prefetch_fills += u64::from(prefetched);
+                self.l1i[c].fill(addr, prefetched, state)
+            }
+            L1Kind::D => {
+                self.stats.l1d.prefetch_fills += u64::from(prefetched);
+                self.l1d[c].fill(addr, prefetched, state)
+            }
+        };
+        if let Some(v) = victim {
+            if v.was_unused_prefetch {
+                match l1 {
+                    L1Kind::I => self.stats.l1i.useless_prefetch_evictions += 1,
+                    L1Kind::D => self.stats.l1d.useless_prefetch_evictions += 1,
+                }
+                if self.adaptive_pf() {
+                    match l1 {
+                        L1Kind::I => self.th_l1i[c].record_bad(),
+                        L1Kind::D => self.th_l1d[c].record_bad(),
+                    }
+                }
+            }
+            let req = if v.meta == MsiState::Modified { L1Request::PutM } else { L1Request::PutS };
+            match self.l2.meta_mut(v.addr) {
+                Some(dir) => {
+                    let _ = dir.handle(CoreId(c as u8), req);
+                }
+                None => {
+                    // Inclusion race: the L2 already dropped the line. A
+                    // dirty victim goes straight to memory.
+                    if v.meta == MsiState::Modified {
+                        let seg = self.link_segments(v.addr);
+                        self.link.send(self.now, &Message::writeback(v.addr, seg));
+                        self.mem.write(v.addr, seg);
+                        self.stats.mem_writes += 1;
+                    }
+                }
+            }
+        }
+
+        self.complete_core_mshr(c, addr);
+    }
+
+    /// Completes the core-side MSHR for `addr` and wakes the core when
+    /// its stall condition is satisfied.
+    fn complete_core_mshr(&mut self, c: usize, addr: BlockAddr) {
+        let mut wake = false;
+        if let Some(m) = self.core_mshrs[c].remove(&addr) {
+            if let Some(core) = self.cores[c].as_mut() {
+                debug_assert_eq!(usize::from(core.id()), c, "MSHR/core mismatch");
+                debug_assert!(
+                    matches!(m.l1, L1Kind::I | L1Kind::D),
+                    "MSHR belongs to an L1"
+                );
+                core.outstanding = core.outstanding.saturating_sub(1);
+                core.complete_loads(&m.load_seqs);
+                wake = match core.waiting {
+                    Wait::IFetch(a) | Wait::Load(a) => a == addr,
+                    Wait::Rob => !m.load_seqs.is_empty(),
+                    Wait::Mshr => true,
+                    Wait::Ready | Wait::Done => false,
+                };
+            }
+        }
+        if wake {
+            self.schedule(self.now, Event::CoreStep { core: c as u8 });
+        }
+        self.drain_pf_queue(c);
+    }
+}

@@ -1,0 +1,73 @@
+//! Frequent Pattern Compression (FPC) for 64-byte cache lines.
+//!
+//! This crate implements the compression scheme used by the paper
+//! *"Interactions Between Compression and Prefetching in Chip
+//! Multiprocessors"* (Alameldeen & Wood, HPCA 2007) for both the shared L2
+//! cache and the off-chip link: **Frequent Pattern Compression**
+//! (Alameldeen & Wood, *Frequent Pattern Compression: A Significance-Based
+//! Compression Scheme for L2 Caches*, UW-Madison TR-1500).
+//!
+//! FPC scans a cache line as a sequence of 32-bit words and encodes each
+//! word with a 3-bit prefix followed by a variable-length payload. Runs of
+//! zero words are collapsed into a single token. The compressed size of a
+//! line is then rounded up to a whole number of 8-byte *segments*; the
+//! decoupled variable-segment cache and the link both allocate space in
+//! segment granularity (1..=8 segments; a line that needs 8 is stored
+//! uncompressed).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmpsim_fpc::{compress, LINE_BYTES};
+//!
+//! // A line of small integers compresses well.
+//! let mut line = [0u8; LINE_BYTES];
+//! for (i, chunk) in line.chunks_exact_mut(4).enumerate() {
+//!     chunk.copy_from_slice(&(i as u32).to_le_bytes());
+//! }
+//! let compressed = compress(&line);
+//! assert!(compressed.segments() < 8, "small integers fit in fewer segments");
+//! assert_eq!(compressed.decompress(), line, "FPC is lossless");
+//! ```
+
+mod line;
+mod pattern;
+mod segment;
+
+pub use line::{compress, compressed_segments, CompressedLine};
+pub use pattern::{encode_word, Pattern, Token, PREFIX_BITS};
+pub use segment::{
+    bits_to_segments, segment_bytes_for, LINE_BYTES, MAX_COMPRESSED_SEGMENTS, MAX_SEGMENTS,
+    SEGMENT_BITS, SEGMENT_BYTES, WORDS_PER_LINE, WORD_BYTES,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_line_is_one_segment() {
+        let line = [0u8; LINE_BYTES];
+        let c = compress(&line);
+        assert_eq!(c.segments(), 1);
+        assert!(c.is_compressible());
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn random_looking_line_is_incompressible() {
+        let mut line = [0u8; LINE_BYTES];
+        // High-entropy bytes: no word matches any frequent pattern.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for b in line.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (state >> 33) as u8 | 0x80; // keep high bits set
+        }
+        let c = compress(&line);
+        assert_eq!(c.segments(), MAX_SEGMENTS);
+        assert!(!c.is_compressible());
+        assert_eq!(c.decompress(), line);
+    }
+}

@@ -1,0 +1,207 @@
+//! Line-level FPC compression: tokenization, sizing and exact decompression.
+
+use crate::pattern::{encode_word, Token, MAX_ZERO_RUN};
+use crate::segment::{bits_to_segments, LINE_BYTES, MAX_SEGMENTS, WORDS_PER_LINE};
+
+/// A losslessly compressed 64-byte cache line.
+///
+/// Holds the token stream plus the pre-computed encoded size. Construct via
+/// [`compress`]; recover the original bytes with
+/// [`CompressedLine::decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedLine {
+    tokens: Vec<Token>,
+    bits: u32,
+}
+
+impl CompressedLine {
+    /// Encoded size in bits (prefixes + payloads, before segment rounding).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Storage size in 8-byte segments, clamped to `1..=8`.
+    ///
+    /// A line whose encoding would need all 8 segments is stored
+    /// *uncompressed*, so 8 here means "not compressed".
+    pub fn segments(&self) -> u8 {
+        bits_to_segments(self.bits)
+    }
+
+    /// Whether the line benefits from compression (fits in ≤ 7 segments).
+    pub fn is_compressible(&self) -> bool {
+        self.segments() < MAX_SEGMENTS
+    }
+
+    /// The encoded token stream, in line order.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Reconstructs the original 64 bytes exactly.
+    pub fn decompress(&self) -> [u8; LINE_BYTES] {
+        let mut words = [0u32; WORDS_PER_LINE];
+        let mut idx = 0;
+        for tok in &self.tokens {
+            tok.expand_into(&mut words[idx..]);
+            idx += tok.word_count();
+        }
+        debug_assert_eq!(idx, WORDS_PER_LINE, "token stream must cover the line");
+        let mut out = [0u8; LINE_BYTES];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(words.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Compresses a 64-byte line with FPC.
+///
+/// Words are read as little-endian `u32`s; consecutive zero words collapse
+/// into zero-run tokens of up to 8 words.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_fpc::compress;
+/// let line = [0u8; 64];
+/// assert_eq!(compress(&line).segments(), 1);
+/// ```
+pub fn compress(line: &[u8; LINE_BYTES]) -> CompressedLine {
+    let mut tokens = Vec::with_capacity(WORDS_PER_LINE);
+    let mut bits = 0u32;
+    let mut zero_run = 0u8;
+
+    let flush_run = |run: &mut u8, tokens: &mut Vec<Token>, bits: &mut u32| {
+        while *run > 0 {
+            let count = (*run).min(MAX_ZERO_RUN);
+            let tok = Token::ZeroRun { count };
+            *bits += tok.bits();
+            tokens.push(tok);
+            *run -= count;
+        }
+    };
+
+    for chunk in line.chunks_exact(4) {
+        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        if word == 0 {
+            zero_run += 1;
+            continue;
+        }
+        flush_run(&mut zero_run, &mut tokens, &mut bits);
+        let tok = encode_word(word);
+        bits += tok.bits();
+        tokens.push(tok);
+    }
+    flush_run(&mut zero_run, &mut tokens, &mut bits);
+
+    CompressedLine { tokens, bits }
+}
+
+/// Fast path: compressed size in segments without building a token vector.
+///
+/// Equivalent to `compress(line).segments()` but allocation-free; this is
+/// the call on the simulator's hot path (every L2 fill and link transfer).
+pub fn compressed_segments(line: &[u8; LINE_BYTES]) -> u8 {
+    let mut bits = 0u32;
+    let mut zero_run = 0u32;
+    for chunk in line.chunks_exact(4) {
+        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        if word == 0 {
+            zero_run += 1;
+            continue;
+        }
+        if zero_run > 0 {
+            bits += zero_run.div_ceil(u32::from(MAX_ZERO_RUN)) * 6;
+            zero_run = 0;
+        }
+        bits += encode_word(word).bits();
+    }
+    if zero_run > 0 {
+        bits += zero_run.div_ceil(u32::from(MAX_ZERO_RUN)) * 6;
+    }
+    bits_to_segments(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn line_of_words(words: &[u32; WORDS_PER_LINE]) -> [u8; LINE_BYTES] {
+        let mut line = [0u8; LINE_BYTES];
+        for (chunk, w) in line.chunks_exact_mut(4).zip(words.iter()) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        line
+    }
+
+    #[test]
+    fn zero_runs_are_aggregated() {
+        let line = [0u8; LINE_BYTES];
+        let c = compress(&line);
+        // 16 zero words → two ZeroRun tokens of 8.
+        assert_eq!(c.tokens().len(), 2);
+        assert!(c
+            .tokens()
+            .iter()
+            .all(|t| t.pattern() == Pattern::ZeroRun && t.word_count() == 8));
+        assert_eq!(c.bits(), 12);
+    }
+
+    #[test]
+    fn interleaved_zeros_break_runs() {
+        let mut words = [0u32; WORDS_PER_LINE];
+        words[5] = 0xDEAD_BEEF;
+        let line = line_of_words(&words);
+        let c = compress(&line);
+        // run(5) + uncompressed + run(8) + run(2)
+        assert_eq!(c.tokens().len(), 4);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn fast_path_matches_full_compression() {
+        let mut words = [0u32; WORDS_PER_LINE];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = match i % 5 {
+                0 => 0,
+                1 => 7,
+                2 => 0x1234_0000,
+                3 => 0xDEAD_BEEF,
+                _ => 0xABAB_ABAB,
+            };
+        }
+        let line = line_of_words(&words);
+        assert_eq!(compressed_segments(&line), compress(&line).segments());
+    }
+
+    #[test]
+    fn pointer_heavy_line_compresses_moderately() {
+        // Pointers share high-order bits; as LE u32 pairs, the high word of
+        // each 64-bit pointer is small → Signed8/Signed16.
+        let mut words = [0u32; WORDS_PER_LINE];
+        for (i, pair) in words.chunks_exact_mut(2).enumerate() {
+            let ptr: u64 = 0x0000_7F3A_0000_1000 + (i as u64) * 64;
+            pair[0] = ptr as u32;
+            pair[1] = (ptr >> 32) as u32;
+        }
+        let line = line_of_words(&words);
+        let c = compress(&line);
+        assert!(c.is_compressible());
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn sizes_monotone_under_zeroing() {
+        // Zeroing a word never increases the compressed size.
+        let mut words = [0xDEAD_BEEFu32; WORDS_PER_LINE];
+        let mut prev = compress(&line_of_words(&words)).bits();
+        for i in 0..WORDS_PER_LINE {
+            words[i] = 0;
+            let now = compress(&line_of_words(&words)).bits();
+            assert!(now <= prev, "zeroing word {i} increased size");
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Word-level FPC patterns.
+//!
+//! Each 32-bit word of a cache line is classified against a fixed set of
+//! *frequent patterns*, in priority order. A matching word is encoded as a
+//! 3-bit prefix plus a short payload; a word matching no pattern is stored
+//! verbatim behind the `Uncompressed` prefix. Runs of all-zero words are
+//! collapsed into a single `ZeroRun` token at the line level (see
+//! [`crate::compress`]).
+//!
+//! Words are interpreted as **little-endian** `u32`s; this choice is
+//! internally consistent between compression and decompression and does not
+//! affect compressed sizes for the value distributions the simulator
+//! generates.
+
+/// Number of prefix bits identifying the pattern of each token.
+pub const PREFIX_BITS: u32 = 3;
+
+/// Maximum number of zero words one `ZeroRun` token can cover
+/// (3-bit run-length payload encodes 1..=8).
+pub const MAX_ZERO_RUN: u8 = 8;
+
+/// The FPC frequent-pattern vocabulary, in match-priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pattern {
+    /// Run of 1..=8 all-zero words (payload: 3-bit run length).
+    ZeroRun,
+    /// Word is a sign-extended 4-bit value (payload: 4 bits).
+    Signed4,
+    /// Word is a sign-extended 8-bit value (payload: 8 bits).
+    Signed8,
+    /// Word is a sign-extended 16-bit value (payload: 16 bits).
+    Signed16,
+    /// Low halfword is zero; only the high halfword is stored (16 bits).
+    ZeroPadded16,
+    /// Each halfword is a sign-extended byte (payload: 2 bytes = 16 bits).
+    TwoSignedBytes,
+    /// All four bytes are equal (payload: 8 bits).
+    RepeatedBytes,
+    /// No pattern matched; word stored verbatim (payload: 32 bits).
+    Uncompressed,
+}
+
+impl Pattern {
+    /// Payload bits used by this pattern (excluding the 3-bit prefix).
+    pub fn payload_bits(self) -> u32 {
+        match self {
+            Pattern::ZeroRun => 3,
+            Pattern::Signed4 => 4,
+            Pattern::Signed8 | Pattern::RepeatedBytes => 8,
+            Pattern::Signed16 | Pattern::ZeroPadded16 | Pattern::TwoSignedBytes => 16,
+            Pattern::Uncompressed => 32,
+        }
+    }
+
+    /// Total encoded bits (prefix + payload).
+    pub fn encoded_bits(self) -> u32 {
+        PREFIX_BITS + self.payload_bits()
+    }
+}
+
+/// A single encoded token of a compressed line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// `count` consecutive all-zero words (1..=8).
+    ZeroRun {
+        /// Number of zero words covered, 1..=8.
+        count: u8,
+    },
+    /// Sign-extended 4-bit value.
+    Signed4(i8),
+    /// Sign-extended 8-bit value.
+    Signed8(i8),
+    /// Sign-extended 16-bit value.
+    Signed16(i16),
+    /// High halfword of a word whose low halfword is zero.
+    ZeroPadded16(u16),
+    /// The two bytes whose sign-extensions form the two halfwords.
+    TwoSignedBytes(i8, i8),
+    /// The byte repeated in all four positions.
+    RepeatedBytes(u8),
+    /// Verbatim word.
+    Uncompressed(u32),
+}
+
+impl Token {
+    /// The pattern this token instantiates.
+    pub fn pattern(&self) -> Pattern {
+        match self {
+            Token::ZeroRun { .. } => Pattern::ZeroRun,
+            Token::Signed4(_) => Pattern::Signed4,
+            Token::Signed8(_) => Pattern::Signed8,
+            Token::Signed16(_) => Pattern::Signed16,
+            Token::ZeroPadded16(_) => Pattern::ZeroPadded16,
+            Token::TwoSignedBytes(_, _) => Pattern::TwoSignedBytes,
+            Token::RepeatedBytes(_) => Pattern::RepeatedBytes,
+            Token::Uncompressed(_) => Pattern::Uncompressed,
+        }
+    }
+
+    /// Total encoded size of this token in bits.
+    pub fn bits(&self) -> u32 {
+        self.pattern().encoded_bits()
+    }
+
+    /// Number of source words this token reconstructs.
+    pub fn word_count(&self) -> usize {
+        match self {
+            Token::ZeroRun { count } => usize::from(*count),
+            _ => 1,
+        }
+    }
+
+    /// Reconstructs the source words into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Token::word_count`].
+    pub fn expand_into(&self, out: &mut [u32]) {
+        match *self {
+            Token::ZeroRun { count } => {
+                for w in &mut out[..usize::from(count)] {
+                    *w = 0;
+                }
+            }
+            Token::Signed4(v) | Token::Signed8(v) => out[0] = v as i32 as u32,
+            Token::Signed16(v) => out[0] = v as i32 as u32,
+            Token::ZeroPadded16(h) => out[0] = u32::from(h) << 16,
+            Token::TwoSignedBytes(hi, lo) => {
+                let high = (hi as i16) as u16;
+                let low = (lo as i16) as u16;
+                out[0] = (u32::from(high) << 16) | u32::from(low);
+            }
+            Token::RepeatedBytes(b) => out[0] = u32::from_ne_bytes([b, b, b, b]),
+            Token::Uncompressed(w) => out[0] = w,
+        }
+    }
+}
+
+/// Classifies and encodes one non-zero-run word.
+///
+/// Zero words are normally folded into [`Token::ZeroRun`] by the line
+/// encoder, but passing a zero word here yields a run of length one, which
+/// round-trips correctly.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_fpc::{encode_word, Pattern};
+/// assert_eq!(encode_word(7).pattern(), Pattern::Signed4);
+/// assert_eq!(encode_word(0xDEADBEEF).pattern(), Pattern::Uncompressed);
+/// ```
+pub fn encode_word(word: u32) -> Token {
+    if word == 0 {
+        return Token::ZeroRun { count: 1 };
+    }
+    let sword = word as i32;
+    if (-8..=7).contains(&sword) {
+        return Token::Signed4(sword as i8);
+    }
+    if i32::from(sword as i8) == sword {
+        return Token::Signed8(sword as i8);
+    }
+    if i32::from(sword as i16) == sword {
+        return Token::Signed16(sword as i16);
+    }
+    if word & 0xFFFF == 0 {
+        return Token::ZeroPadded16((word >> 16) as u16);
+    }
+    let high = (word >> 16) as u16;
+    let low = (word & 0xFFFF) as u16;
+    if i16::from(high as i16 as i8) == high as i16 && i16::from(low as i16 as i8) == low as i16 {
+        return Token::TwoSignedBytes(high as i16 as i8, low as i16 as i8);
+    }
+    let bytes = word.to_ne_bytes();
+    if bytes[0] == bytes[1] && bytes[1] == bytes[2] && bytes[2] == bytes[3] {
+        return Token::RepeatedBytes(bytes[0]);
+    }
+    Token::Uncompressed(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(word: u32) -> u32 {
+        let tok = encode_word(word);
+        let mut out = [0u32; 1];
+        tok.expand_into(&mut out);
+        out[0]
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(encode_word(0).pattern(), Pattern::ZeroRun);
+        assert_eq!(encode_word(5).pattern(), Pattern::Signed4);
+        assert_eq!(encode_word((-8i32) as u32).pattern(), Pattern::Signed4);
+        assert_eq!(encode_word(100).pattern(), Pattern::Signed8);
+        assert_eq!(encode_word((-100i32) as u32).pattern(), Pattern::Signed8);
+        assert_eq!(encode_word(30_000).pattern(), Pattern::Signed16);
+        assert_eq!(encode_word((-30_000i32) as u32).pattern(), Pattern::Signed16);
+        assert_eq!(encode_word(0x1234_0000).pattern(), Pattern::ZeroPadded16);
+        assert_eq!(encode_word(0x0042_FF85).pattern(), Pattern::TwoSignedBytes);
+        assert_eq!(encode_word(0xABAB_ABAB).pattern(), Pattern::RepeatedBytes);
+        assert_eq!(encode_word(0xDEAD_BEEF).pattern(), Pattern::Uncompressed);
+    }
+
+    #[test]
+    fn priority_prefers_smaller_encodings() {
+        // -1 is representable by many patterns; Signed4 must win.
+        assert_eq!(encode_word(u32::MAX).pattern(), Pattern::Signed4);
+        // 0x00FF00FF: halves 0x00FF — i16 255 is not a sign-extended i8
+        // (i8 max is 127), and bytes are not all equal → uncompressed.
+        assert_eq!(encode_word(0x00FF_00FF).pattern(), Pattern::Uncompressed);
+    }
+
+    #[test]
+    fn all_patterns_roundtrip() {
+        for &w in &[
+            0u32,
+            5,
+            (-3i32) as u32,
+            100,
+            (-100i32) as u32,
+            30_000,
+            (-30_000i32) as u32,
+            0x1234_0000,
+            0x0042_FF85,
+            0xABAB_ABAB,
+            0xDEAD_BEEF,
+            u32::MAX,
+            1 << 31,
+            0x7FFF_FFFF,
+        ] {
+            assert_eq!(roundtrip(w), w, "word {w:#x} failed to round-trip");
+        }
+    }
+
+    #[test]
+    fn encoded_sizes() {
+        assert_eq!(encode_word(0).bits(), 6);
+        assert_eq!(encode_word(5).bits(), 7);
+        assert_eq!(encode_word(100).bits(), 11);
+        assert_eq!(encode_word(30_000).bits(), 19);
+        assert_eq!(encode_word(0xDEAD_BEEF).bits(), 35);
+    }
+
+    #[test]
+    fn zero_run_expansion() {
+        let tok = Token::ZeroRun { count: 4 };
+        let mut out = [u32::MAX; 4];
+        tok.expand_into(&mut out);
+        assert_eq!(out, [0; 4]);
+        assert_eq!(tok.word_count(), 4);
+        assert_eq!(tok.bits(), 6);
+    }
+}

@@ -1,0 +1,100 @@
+//! Segment-granularity size constants and conversions.
+//!
+//! Both the decoupled variable-segment L2 cache and the off-chip link
+//! allocate space for (possibly compressed) cache lines in units of 8-byte
+//! segments. An uncompressed 64-byte line occupies [`MAX_SEGMENTS`] (8)
+//! segments; a line counts as *compressed* only if it fits in at most
+//! [`MAX_COMPRESSED_SEGMENTS`] (7) segments.
+
+/// Bytes in a cache line (fixed at 64 by the paper's Table 1).
+pub const LINE_BYTES: usize = 64;
+
+/// Bytes in a 32-bit FPC word.
+pub const WORD_BYTES: usize = 4;
+
+/// 32-bit words per cache line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / WORD_BYTES;
+
+/// Bytes per segment (the link transfers one segment per flit).
+pub const SEGMENT_BYTES: usize = 8;
+
+/// Bits per segment.
+pub const SEGMENT_BITS: u32 = (SEGMENT_BYTES * 8) as u32;
+
+/// Segments occupied by an uncompressed line.
+pub const MAX_SEGMENTS: u8 = (LINE_BYTES / SEGMENT_BYTES) as u8;
+
+/// Largest segment count that still counts as "compressed" (paper §2:
+/// "compressed blocks use between one and seven segments").
+pub const MAX_COMPRESSED_SEGMENTS: u8 = MAX_SEGMENTS - 1;
+
+/// Converts a compressed bit count to a segment count.
+///
+/// The result is clamped to `1..=MAX_SEGMENTS`: even an all-zero line needs
+/// one segment of storage, and a line whose FPC encoding would exceed seven
+/// segments is stored uncompressed in eight.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_fpc::bits_to_segments;
+/// assert_eq!(bits_to_segments(0), 1);
+/// assert_eq!(bits_to_segments(64), 1);
+/// assert_eq!(bits_to_segments(65), 2);
+/// assert_eq!(bits_to_segments(1000), 8); // too big: stored uncompressed
+/// ```
+pub fn bits_to_segments(bits: u32) -> u8 {
+    let segs = bits.div_ceil(SEGMENT_BITS).max(1);
+    if segs > u32::from(MAX_COMPRESSED_SEGMENTS) {
+        MAX_SEGMENTS
+    } else {
+        segs as u8
+    }
+}
+
+/// Bytes transferred on the link for a line stored in `segments` segments.
+///
+/// # Panics
+///
+/// Panics if `segments` is zero or exceeds [`MAX_SEGMENTS`].
+pub fn segment_bytes_for(segments: u8) -> usize {
+    assert!(
+        (1..=MAX_SEGMENTS).contains(&segments),
+        "segment count {segments} out of range 1..={MAX_SEGMENTS}"
+    );
+    usize::from(segments) * SEGMENT_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(bits_to_segments(1), 1);
+        assert_eq!(bits_to_segments(64), 1);
+        assert_eq!(bits_to_segments(128), 2);
+        assert_eq!(bits_to_segments(7 * 64), 7);
+        assert_eq!(bits_to_segments(7 * 64 + 1), 8);
+        assert_eq!(bits_to_segments(u32::MAX), 8);
+    }
+
+    #[test]
+    fn segment_bytes() {
+        assert_eq!(segment_bytes_for(1), 8);
+        assert_eq!(segment_bytes_for(8), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_segments_panics() {
+        segment_bytes_for(0);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(WORDS_PER_LINE, 16);
+        assert_eq!(MAX_SEGMENTS, 8);
+        assert_eq!(MAX_COMPRESSED_SEGMENTS, 7);
+    }
+}

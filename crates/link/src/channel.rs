@@ -1,0 +1,246 @@
+//! Serializing bandwidth channel with FIFO queueing.
+
+use crate::message::Message;
+
+/// Available pin bandwidth for the off-chip link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkBandwidth {
+    /// Finite bandwidth in GB/s (the paper sweeps 10–80, default 20).
+    GBps(u32),
+    /// Unlimited bandwidth: transfers serialize in zero time. Used to
+    /// measure *pin bandwidth demand* (EQ 1), "defined as the bandwidth
+    /// utilization on a system with infinite available pin bandwidth".
+    Infinite,
+}
+
+/// The scheduled occupancy of one message on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Cycle the first flit leaves (after queueing behind earlier traffic).
+    pub start: u64,
+    /// Cycle the last flit arrives; the payload is usable from here.
+    pub done: u64,
+}
+
+impl Transfer {
+    /// Cycles spent waiting behind earlier messages.
+    pub fn queue_delay(&self, requested_at: u64) -> u64 {
+        self.start.saturating_sub(requested_at)
+    }
+}
+
+/// Traffic counters for the link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Total bytes transferred (headers + flits) — numerator of EQ 1.
+    pub total_bytes: u64,
+    /// Bytes belonging to data flits only (no headers).
+    pub data_bytes: u64,
+    /// Bytes of messages flagged as prefetch traffic.
+    pub prefetch_bytes: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Sum of per-message queueing delays in cycles.
+    pub queue_delay_cycles: u64,
+    /// Cycles the link spent busy transferring.
+    pub busy_cycles: u64,
+}
+
+impl ChannelStats {
+    /// Mean queueing delay per message, in cycles.
+    pub fn avg_queue_delay(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.queue_delay_cycles as f64 / self.messages as f64
+        }
+    }
+}
+
+/// A bandwidth-metered, FIFO-serializing, full-duplex link.
+///
+/// The pin interface is modeled as two independent lanes, each with the
+/// configured bandwidth: *upstream* (read requests and writebacks toward
+/// the memory controller) and *downstream* (data responses toward the
+/// chip). Within a lane, messages serialize FIFO, so bursts of misses
+/// produce queueing delays — the contention effect at the heart of the
+/// paper.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_link::{Channel, LinkBandwidth, Message};
+/// use cmpsim_cache::BlockAddr;
+///
+/// // 20 GB/s at 5 GHz = 4 bytes/cycle: a 72-byte message takes 18 cycles.
+/// let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+/// let t = link.send(100, &Message::data_response(BlockAddr(0), 8, false));
+/// assert_eq!(t.start, 100);
+/// assert_eq!(t.done, 118);
+/// // A second response queues behind the first on the same lane…
+/// let t2 = link.send(100, &Message::data_response(BlockAddr(1), 8, false));
+/// assert_eq!(t2.start, 118);
+/// // …while a request rides the free upstream lane immediately.
+/// let t3 = link.send(100, &Message::read_request(BlockAddr(2), false));
+/// assert_eq!(t3.start, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Channel {
+    bandwidth: LinkBandwidth,
+    clock_ghz: u32,
+    /// Lane occupancy: `[upstream, downstream]`.
+    next_free: [u64; 2],
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates a link with the given bandwidth on a `clock_ghz` GHz chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ghz` is zero.
+    pub fn new(bandwidth: LinkBandwidth, clock_ghz: u32) -> Self {
+        assert!(clock_ghz > 0, "clock must be positive");
+        Channel { bandwidth, clock_ghz, next_free: [0; 2], stats: ChannelStats::default() }
+    }
+
+    /// The configured bandwidth.
+    pub fn bandwidth(&self) -> LinkBandwidth {
+        self.bandwidth
+    }
+
+    /// Serialization time of `bytes` on this link, ignoring queueing.
+    pub fn duration_cycles(&self, bytes: usize) -> u64 {
+        match self.bandwidth {
+            LinkBandwidth::Infinite => 0,
+            LinkBandwidth::GBps(gbps) => {
+                // bytes/cycle = GB/s ÷ Gcycles/s; duration rounds up.
+                let bytes = bytes as u64;
+                (bytes * u64::from(self.clock_ghz)).div_ceil(u64::from(gbps))
+            }
+        }
+    }
+
+    /// Schedules `msg` at time `now` on its direction lane, returning the
+    /// occupancy window.
+    pub fn send(&mut self, now: u64, msg: &Message) -> Transfer {
+        let lane = match msg.kind {
+            crate::MessageKind::DataResponse => 1,
+            crate::MessageKind::ReadRequest | crate::MessageKind::Writeback => 0,
+        };
+        let bytes = msg.size_bytes();
+        let duration = self.duration_cycles(bytes);
+        let start = now.max(self.next_free[lane]);
+        let done = start + duration;
+        self.next_free[lane] = done;
+
+        self.stats.total_bytes += bytes as u64;
+        self.stats.data_bytes +=
+            (usize::from(msg.segments) * cmpsim_fpc::SEGMENT_BYTES) as u64;
+        if msg.for_prefetch {
+            self.stats.prefetch_bytes += bytes as u64;
+        }
+        self.stats.messages += 1;
+        self.stats.queue_delay_cycles += start - now;
+        self.stats.busy_cycles += duration;
+
+        Transfer { start, done }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Clears counters (end of warmup) without resetting link occupancy.
+    pub fn reset_stats(&mut self) {
+        self.stats = ChannelStats::default();
+    }
+
+    /// Observed traffic rate over `elapsed_cycles`, in GB/s (EQ 1's
+    /// *bandwidth demand* when the link is [`LinkBandwidth::Infinite`]).
+    pub fn traffic_gbps(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.total_bytes as f64 / elapsed_cycles as f64 * f64::from(self.clock_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_cache::BlockAddr;
+
+    #[test]
+    fn serialization_times() {
+        let link = Channel::new(LinkBandwidth::GBps(20), 5);
+        assert_eq!(link.duration_cycles(72), 18);
+        assert_eq!(link.duration_cycles(8), 2);
+        assert_eq!(link.duration_cycles(1), 1, "rounds up");
+        let fat = Channel::new(LinkBandwidth::GBps(80), 5);
+        assert_eq!(fat.duration_cycles(72), 5, "72*5/80 = 4.5 → 5");
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_instant_but_counted() {
+        let mut link = Channel::new(LinkBandwidth::Infinite, 5);
+        let t = link.send(50, &Message::data_response(BlockAddr(0), 8, false));
+        assert_eq!(t, Transfer { start: 50, done: 50 });
+        assert_eq!(link.stats().total_bytes, 72);
+        assert!((link.traffic_gbps(100) - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        let a = link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let b = link.send(0, &Message::data_response(BlockAddr(1), 8, false));
+        assert_eq!(a.done, 18);
+        assert_eq!(b.start, 18);
+        assert_eq!(b.done, 36);
+        assert_eq!(b.queue_delay(0), 18);
+        assert_eq!(link.stats().queue_delay_cycles, 18);
+        assert_eq!(link.stats().busy_cycles, 36);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_queueing() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        link.send(0, &Message::read_request(BlockAddr(0), false));
+        let t = link.send(1000, &Message::read_request(BlockAddr(1), false));
+        assert_eq!(t.start, 1000);
+        assert_eq!(t.queue_delay(1000), 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        let down = link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let up = link.send(0, &Message::writeback(BlockAddr(1), 8));
+        assert_eq!(down.start, 0);
+        assert_eq!(up.start, 0, "writebacks ride the upstream lane");
+        let up2 = link.send(0, &Message::read_request(BlockAddr(2), false));
+        assert_eq!(up2.start, 18, "requests queue behind writebacks");
+    }
+
+    #[test]
+    fn prefetch_bytes_tracked() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        link.send(0, &Message::data_response(BlockAddr(0), 4, true));
+        link.send(0, &Message::data_response(BlockAddr(1), 4, false));
+        assert_eq!(link.stats().prefetch_bytes, 40);
+        assert_eq!(link.stats().total_bytes, 80);
+        assert_eq!(link.stats().data_bytes, 64);
+    }
+
+    #[test]
+    fn reset_keeps_occupancy() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        link.reset_stats();
+        assert_eq!(link.stats().total_bytes, 0);
+        let t = link.send(0, &Message::data_response(BlockAddr(1), 8, false));
+        assert_eq!(t.start, 18, "stats reset must not free the link early");
+    }
+}

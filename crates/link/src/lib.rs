@@ -1,0 +1,24 @@
+//! Off-chip interconnect model: messages, flits, bandwidth and link
+//! compression.
+//!
+//! The paper's CMP talks to its off-chip memory controller over a pin
+//! interface with 20 GB/s of bandwidth (Table 1). **Link compression**
+//! (§2) transfers each 64-byte line as 1–8 *flits* of one 8-byte segment
+//! each, using the same FPC segmentation as the cache, so compressible
+//! lines consume proportionally less pin bandwidth.
+//!
+//! This crate provides:
+//!
+//! - [`Message`]: typed request/response/writeback messages with exact
+//!   byte sizes (8-byte header + one flit per data segment),
+//! - [`Channel`]: a serializing bandwidth model that yields transfer
+//!   start/completion times with FIFO queueing delay, plus the counters
+//!   behind the paper's *pin bandwidth demand* metric (EQ 1, measured on
+//!   an infinite-bandwidth link), and
+//! - [`LinkBandwidth`]: finite GB/s or `Infinite` for demand measurement.
+
+mod channel;
+mod message;
+
+pub use channel::{Channel, ChannelStats, LinkBandwidth, Transfer};
+pub use message::{Message, MessageKind, HEADER_BYTES};

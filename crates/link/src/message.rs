@@ -1,0 +1,112 @@
+//! Off-chip message formats.
+
+use cmpsim_cache::BlockAddr;
+use cmpsim_fpc::{MAX_SEGMENTS, SEGMENT_BYTES};
+
+/// Bytes in every message header (address, type, and for data messages the
+/// flit-count length field the paper describes in §2).
+pub const HEADER_BYTES: usize = 8;
+
+/// The role a message plays on the memory interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// L2 miss request to the memory controller (no data payload).
+    ReadRequest,
+    /// Memory's data response for a read request.
+    DataResponse,
+    /// Dirty L2 eviction carrying data back to memory.
+    Writeback,
+}
+
+/// One message on the off-chip link.
+///
+/// Data-carrying messages are transferred as `segments` flits of
+/// [`SEGMENT_BYTES`] each, after the header. With link compression
+/// disabled, every line uses all 8 flits; with it enabled, the FPC segment
+/// count of the line's contents is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// Message role.
+    pub kind: MessageKind,
+    /// Line the message concerns.
+    pub addr: BlockAddr,
+    /// Data flits (0 for requests, 1..=8 for data messages).
+    pub segments: u8,
+    /// Whether the message is a prefetch-initiated transfer (for traffic
+    /// accounting; prefetches and demand transfers share the link).
+    pub for_prefetch: bool,
+}
+
+impl Message {
+    /// A read request (header only).
+    pub fn read_request(addr: BlockAddr, for_prefetch: bool) -> Self {
+        Message { kind: MessageKind::ReadRequest, addr, segments: 0, for_prefetch }
+    }
+
+    /// A data response carrying `segments` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is 0 or exceeds 8.
+    pub fn data_response(addr: BlockAddr, segments: u8, for_prefetch: bool) -> Self {
+        assert!((1..=MAX_SEGMENTS).contains(&segments), "bad segment count {segments}");
+        Message { kind: MessageKind::DataResponse, addr, segments, for_prefetch }
+    }
+
+    /// A dirty writeback carrying `segments` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is 0 or exceeds 8.
+    pub fn writeback(addr: BlockAddr, segments: u8) -> Self {
+        assert!((1..=MAX_SEGMENTS).contains(&segments), "bad segment count {segments}");
+        Message { kind: MessageKind::Writeback, addr, segments, for_prefetch: false }
+    }
+
+    /// Exact size on the link in bytes: header plus one flit per segment.
+    pub fn size_bytes(&self) -> usize {
+        HEADER_BYTES + usize::from(self.segments) * SEGMENT_BYTES
+    }
+
+    /// Whether the message carries line data.
+    pub fn carries_data(&self) -> bool {
+        self.segments > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let a = BlockAddr(5);
+        assert_eq!(Message::read_request(a, false).size_bytes(), 8);
+        assert_eq!(Message::data_response(a, 8, false).size_bytes(), 72);
+        assert_eq!(Message::data_response(a, 1, false).size_bytes(), 16);
+        assert_eq!(Message::writeback(a, 3).size_bytes(), 32);
+    }
+
+    #[test]
+    fn compression_saves_bytes() {
+        let a = BlockAddr(5);
+        let uncompressed = Message::data_response(a, 8, false).size_bytes();
+        let compressed = Message::data_response(a, 2, false).size_bytes();
+        assert!(compressed < uncompressed);
+        // 2 segments: 8 + 16 = 24 vs 72 → a 67% reduction on this message.
+        assert_eq!(compressed, 24);
+    }
+
+    #[test]
+    fn data_flag() {
+        let a = BlockAddr(0);
+        assert!(!Message::read_request(a, true).carries_data());
+        assert!(Message::data_response(a, 4, true).carries_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad segment count")]
+    fn zero_segment_response_panics() {
+        Message::data_response(BlockAddr(0), 0, false);
+    }
+}

@@ -1,0 +1,252 @@
+//! The three miss-stream filter tables (positive unit, negative unit,
+//! non-unit stride).
+//!
+//! Filter tables watch the demand-miss address stream and confirm a
+//! candidate stream once `confirm_threshold` fixed-stride misses have been
+//! observed (4 in the paper's Table 1). Confirmation hands the stream off
+//! to the [`crate::StreamTable`] and frees the filter entry.
+
+use cmpsim_cache::BlockAddr;
+
+/// Which filter table a stride belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrideClass {
+    /// +1 line.
+    PositiveUnit,
+    /// −1 line.
+    NegativeUnit,
+    /// Any other stride within the learnable window.
+    NonUnit,
+}
+
+impl StrideClass {
+    /// Classifies a stride in lines.
+    ///
+    /// Returns `None` for zero strides (same-line re-miss, not a stream).
+    pub fn of(stride: i64) -> Option<Self> {
+        match stride {
+            0 => None,
+            1 => Some(StrideClass::PositiveUnit),
+            -1 => Some(StrideClass::NegativeUnit),
+            _ => Some(StrideClass::NonUnit),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FilterEntry {
+    last: BlockAddr,
+    /// Learned stride; 0 in a non-unit entry that has seen one miss only.
+    stride: i64,
+    /// Fixed-stride misses observed so far (including the first).
+    count: u8,
+    lru: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    entries: Vec<FilterEntry>,
+    capacity: usize,
+}
+
+impl Table {
+    fn new(capacity: usize) -> Self {
+        Table { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    fn insert(&mut self, e: FilterEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(e);
+            return;
+        }
+        if let Some(victim) = self.entries.iter_mut().min_by_key(|x| x.lru) {
+            *victim = e;
+        }
+    }
+}
+
+/// The per-prefetcher trio of filter tables.
+#[derive(Debug, Clone)]
+pub struct FilterTables {
+    pos: Table,
+    neg: Table,
+    non: Table,
+    max_stride: i64,
+    clock: u64,
+}
+
+impl FilterTables {
+    /// Creates the three tables, each with `entries_per_table` entries;
+    /// the non-unit table learns strides up to `max_stride` lines.
+    pub fn new(entries_per_table: usize, max_stride: i64) -> Self {
+        FilterTables {
+            pos: Table::new(entries_per_table),
+            neg: Table::new(entries_per_table),
+            non: Table::new(entries_per_table),
+            max_stride,
+            clock: 0,
+        }
+    }
+
+    /// Observes a demand miss. Returns `Some(stride)` when a stream is
+    /// confirmed (`confirm_threshold` fixed-stride misses); the caller
+    /// then allocates a stream-table entry.
+    pub fn train(&mut self, addr: BlockAddr, confirm_threshold: u8) -> Option<i64> {
+        self.clock += 1;
+        let clock = self.clock;
+
+        // 1. Unit-stride tables: exact next-line match.
+        for (table, stride) in [(&mut self.pos, 1i64), (&mut self.neg, -1i64)] {
+            if let Some(i) = table
+                .entries
+                .iter()
+                .position(|e| e.last.offset(stride) == addr)
+            {
+                let e = &mut table.entries[i];
+                e.last = addr;
+                e.count += 1;
+                e.lru = clock;
+                if e.count >= confirm_threshold {
+                    table.entries.swap_remove(i);
+                    return Some(stride);
+                }
+                return None;
+            }
+        }
+
+        // 2. Non-unit table: match a learned stride, or learn one.
+        if let Some(i) = self
+            .non
+            .entries
+            .iter()
+            .position(|e| e.stride != 0 && e.last.offset(e.stride) == addr)
+        {
+            let e = &mut self.non.entries[i];
+            e.last = addr;
+            e.count += 1;
+            e.lru = clock;
+            if e.count >= confirm_threshold {
+                let stride = e.stride;
+                self.non.entries.swap_remove(i);
+                return Some(stride);
+            }
+            return None;
+        }
+        let max_stride = self.max_stride;
+        if let Some(i) = self.non.entries.iter().position(|e| {
+            e.stride == 0 && {
+                let delta = addr.0 as i64 - e.last.0 as i64;
+                delta != 0 && delta.abs() != 1 && delta.abs() <= max_stride
+            }
+        }) {
+            let e = &mut self.non.entries[i];
+            e.stride = addr.0 as i64 - e.last.0 as i64;
+            e.last = addr;
+            e.count = 2;
+            e.lru = clock;
+            debug_assert!(confirm_threshold > 2, "threshold 4 in the paper");
+            return None;
+        }
+
+        // 3. No match anywhere: seed fresh candidates in all three tables.
+        self.pos.insert(FilterEntry { last: addr, stride: 1, count: 1, lru: clock });
+        self.neg.insert(FilterEntry { last: addr, stride: -1, count: 1, lru: clock });
+        self.non.insert(FilterEntry { last: addr, stride: 0, count: 1, lru: clock });
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn confirm(f: &mut FilterTables, lines: &[u64]) -> Option<i64> {
+        let mut got = None;
+        for &l in lines {
+            got = f.train(BlockAddr(l), 4);
+        }
+        got
+    }
+
+    #[test]
+    fn positive_unit_confirms_on_fourth_miss() {
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[10, 11, 12]), None);
+        assert_eq!(f.train(BlockAddr(13), 4), Some(1));
+    }
+
+    #[test]
+    fn negative_unit() {
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[50, 49, 48, 47]), Some(-1));
+    }
+
+    #[test]
+    fn non_unit_positive_and_negative() {
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[0, 4, 8, 12]), Some(4));
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[100, 93, 86, 79]), Some(-7));
+    }
+
+    #[test]
+    fn stride_beyond_window_never_confirms() {
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[0, 100, 200, 300, 400]), None);
+    }
+
+    #[test]
+    fn interleaved_streams_confirm_independently() {
+        let mut f = FilterTables::new(32, 64);
+        let seq = [10, 500, 11, 501, 12, 502, 13];
+        let mut confirmed = Vec::new();
+        for &l in &seq {
+            if let Some(s) = f.train(BlockAddr(l), 4) {
+                confirmed.push((l, s));
+            }
+        }
+        assert_eq!(confirmed, vec![(13, 1)]);
+        assert_eq!(f.train(BlockAddr(503), 4), Some(1));
+    }
+
+    #[test]
+    fn confirmation_frees_the_entry() {
+        let mut f = FilterTables::new(32, 64);
+        confirm(&mut f, &[10, 11, 12, 13]);
+        // The stream is gone from the filter: a fresh stream (far enough
+        // away not to alias stale non-unit candidates) needs 4 misses.
+        assert_eq!(f.train(BlockAddr(1000), 4), None);
+        assert_eq!(f.train(BlockAddr(1001), 4), None);
+        assert_eq!(f.train(BlockAddr(1002), 4), None);
+        assert_eq!(f.train(BlockAddr(1003), 4), Some(1));
+    }
+
+    #[test]
+    fn lru_replacement_under_pressure() {
+        let mut f = FilterTables::new(2, 64);
+        // Three unrelated misses: first candidate evicted.
+        f.train(BlockAddr(1000), 4);
+        f.train(BlockAddr(2000), 4);
+        f.train(BlockAddr(3000), 4);
+        // Continue the first stream: entry is gone, so no confirmation
+        // even after 3 more misses (needs 4 fresh ones).
+        assert_eq!(f.train(BlockAddr(1001), 4), None);
+        assert_eq!(f.train(BlockAddr(1002), 4), None);
+        assert_eq!(f.train(BlockAddr(1003), 4), None);
+        assert_eq!(f.train(BlockAddr(1004), 4), Some(1));
+    }
+
+    #[test]
+    fn same_line_re_miss_is_not_a_stream() {
+        let mut f = FilterTables::new(32, 64);
+        assert_eq!(confirm(&mut f, &[5, 5, 5, 5, 5]), None);
+    }
+
+    #[test]
+    fn stride_class() {
+        assert_eq!(StrideClass::of(1), Some(StrideClass::PositiveUnit));
+        assert_eq!(StrideClass::of(-1), Some(StrideClass::NegativeUnit));
+        assert_eq!(StrideClass::of(17), Some(StrideClass::NonUnit));
+        assert_eq!(StrideClass::of(0), None);
+    }
+}

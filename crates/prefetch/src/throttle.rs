@@ -1,0 +1,90 @@
+//! The paper's adaptive prefetching counter (§3).
+//!
+//! One saturating counter per cache scales the number of startup
+//! prefetches per stream. It begins at its maximum (normal prefetching),
+//! is incremented by useful prefetches and decremented by useless/harmful
+//! ones, and **disables prefetching completely when it reaches zero**.
+
+/// Saturating per-cache prefetch throttle.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_prefetch::PrefetchThrottle;
+/// let mut t = PrefetchThrottle::new(6);
+/// assert_eq!(t.degree(), 6);
+/// t.record_bad();
+/// assert_eq!(t.degree(), 5);
+/// t.record_useful();
+/// assert_eq!(t.degree(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchThrottle {
+    counter: u8,
+    max: u8,
+}
+
+impl PrefetchThrottle {
+    /// A throttle saturating at `max` (the cache's startup-prefetch
+    /// ceiling: 6 for L1, 25 for L2), starting saturated.
+    pub fn new(max: u8) -> Self {
+        PrefetchThrottle { counter: max, max }
+    }
+
+    /// Current startup-prefetch degree; 0 disables the prefetcher.
+    pub fn degree(&self) -> u8 {
+        self.counter
+    }
+
+    /// Whether the prefetcher is currently disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.counter == 0
+    }
+
+    /// Useful prefetch observed (first demand hit on a prefetched line).
+    pub fn record_useful(&mut self) {
+        self.counter = (self.counter + 1).min(self.max);
+    }
+
+    /// Useless or harmful prefetch observed.
+    pub fn record_bad(&mut self) {
+        self.counter = self.counter.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_saturated() {
+        let t = PrefetchThrottle::new(25);
+        assert_eq!(t.degree(), 25);
+        assert!(!t.is_disabled());
+    }
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut t = PrefetchThrottle::new(3);
+        t.record_useful();
+        assert_eq!(t.degree(), 3, "already at max");
+        for _ in 0..10 {
+            t.record_bad();
+        }
+        assert_eq!(t.degree(), 0);
+        assert!(t.is_disabled());
+        t.record_bad();
+        assert_eq!(t.degree(), 0, "never underflows");
+    }
+
+    #[test]
+    fn recovers_one_step_at_a_time() {
+        let mut t = PrefetchThrottle::new(6);
+        for _ in 0..6 {
+            t.record_bad();
+        }
+        t.record_useful();
+        t.record_useful();
+        assert_eq!(t.degree(), 2);
+    }
+}

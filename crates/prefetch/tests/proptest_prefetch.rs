@@ -1,0 +1,61 @@
+//! Property tests for the stride prefetcher.
+
+use cmpsim_cache::BlockAddr;
+use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bursts never exceed the requested degree or the configured
+    /// ceiling, and all burst addresses lie on the detected stride.
+    #[test]
+    fn bursts_respect_degree_and_stride(
+        start in 0u64..1_000_000,
+        stride in prop::sample::select(vec![1i64, -1, 2, 3, -7, 12]),
+        degree in 0u8..40,
+    ) {
+        let mut pf = StridePrefetcher::new(PrefetcherConfig::l1());
+        let mut burst = Vec::new();
+        for k in 0..4 {
+            burst = pf.on_miss(BlockAddr(start.wrapping_add((k * stride) as u64)), degree);
+        }
+        let cap = degree.min(PrefetcherConfig::l1().startup_prefetches);
+        prop_assert!(burst.len() <= usize::from(cap));
+        let last_miss = start.wrapping_add((3 * stride) as u64);
+        for (i, addr) in burst.iter().enumerate() {
+            let expect = last_miss.wrapping_add(((i as i64 + 1) * stride) as u64);
+            prop_assert_eq!(addr.0, expect, "burst address off the stride");
+        }
+    }
+
+    /// The throttle counter stays within [0, max] under any feedback
+    /// sequence.
+    #[test]
+    fn throttle_stays_in_range(
+        max in 1u8..30,
+        events in prop::collection::vec(any::<bool>(), 0..500),
+    ) {
+        let mut t = PrefetchThrottle::new(max);
+        for good in events {
+            if good { t.record_useful() } else { t.record_bad() }
+            prop_assert!(t.degree() <= max);
+        }
+    }
+
+    /// Random (non-strided) miss sequences never allocate streams, no
+    /// matter how long they run.
+    #[test]
+    fn noise_never_confirms(
+        seeds in prop::collection::vec(0u64..1_000_000_000, 20..150),
+    ) {
+        // Force distinct, far-apart addresses (beyond max_stride).
+        let mut pf = StridePrefetcher::new(PrefetcherConfig::l2());
+        let mut prev = 0u64;
+        for (i, s) in seeds.iter().enumerate() {
+            let addr = prev + 100 + (s % 1_000_000) + i as u64;
+            prev = addr;
+            let burst = pf.on_miss(BlockAddr(addr), 25);
+            prop_assert!(burst.is_empty(), "noise at {addr} produced prefetches");
+        }
+        prop_assert_eq!(pf.stats().streams_allocated, 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The eight benchmark parameter sets.
+//!
+//! Each spec is calibrated against what the paper publishes about the real
+//! workload: Table 3 compression ratio, Table 4 prefetch rate / coverage /
+//! accuracy per cache, Figure 3 miss reduction, Figure 4 bandwidth demand,
+//! and the qualitative descriptions of §4. The comments on each function
+//! record the calibration targets.
+//!
+//! Shape summary we must hit (see DESIGN.md §4):
+//! - commercial: compressible (1.4–1.8), big instruction footprints,
+//!   moderate/short streams, read-write sharing, and — crucially — hot
+//!   working sets sized just above the 4 MB L2 (they fit once compression
+//!   raises the effective capacity); naive prefetching ranges from mildly
+//!   helpful (zeus) to disastrous (jbb);
+//! - SPEComp: barely compressible (1.01–1.19), tiny hot loops, long
+//!   accurate streams over grids that either re-sweep near the cache
+//!   boundary (art, apsi) or stream far past it (fma3d, mgrid).
+
+use crate::spec::{WorkloadClass, WorkloadSpec};
+use crate::values::LineClass;
+
+const COMMERCIAL_STRIDES: &[i64] = &[1, 1, 1, -1, 2];
+const JBB_STRIDES: &[i64] = &[1, 1, -1, 3];
+const UNIT_STRIDES: &[i64] = &[1];
+const ART_STRIDES: &[i64] = &[1, 1, 1, -1];
+const APSI_STRIDES: &[i64] = &[1, 2, 4];
+const FMA3D_STRIDES: &[i64] = &[1, 1, 1, 2];
+
+/// Apache: static web serving (SURGE clients).
+///
+/// Calibration targets: compression ratio ≈ 1.75 (Table 3); ~20 % L2 miss
+/// reduction under cache compression (Fig 3); prefetching alone ≈ −1 %
+/// (Table 5) — streams exist but are short; the paper's highest
+/// commercial bandwidth demand (8.8 GB/s, Fig 4).
+fn apache() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "apache",
+        class: WorkloadClass::Commercial,
+        inst_footprint_lines: 8192, // 512 KB of code
+        inst_hot_lines: 1536,       // 96 KB hot paths > 64 KB L1I
+        inst_hot_fraction: 0.90,
+        inst_run_mean_lines: 6.0,
+        mem_ratio: 0.30,
+        store_fraction: 0.30,
+        dependent_fraction: 0.45,
+        stride_fraction: 0.05,
+        shared_fraction: 0.35,
+        pool_run_mean: 10.0,
+        streams_per_core: 4,
+        stream_len_lines: 32,
+        accesses_per_line: 8,
+        stride_choices: COMMERCIAL_STRIDES,
+        stream_region_lines: 1 << 16, // 4 MB of scanned buffers per core
+        shared_pool_lines: 1 << 17,   // 8 MB shared file cache
+        shared_tier1_lines: 512,      // 32 KB per-request state
+        shared_tier1_fraction: 0.90,
+        shared_hot_lines: 20_480, // 1.28 MB hot documents
+        shared_hot_fraction: 0.085,
+        shared_store_fraction: 0.12,
+        private_pool_lines: 1 << 15, // 2 MB per-core heap
+        private_tier1_lines: 512,
+        private_tier1_fraction: 0.945,
+        private_hot_lines: 6_144, // 384 KB × 8 cores = 3 MB hot
+        private_hot_fraction: 0.045,
+        value_classes: &[
+            (LineClass::Zero, 0.15),
+            (LineClass::SmallInt, 0.30),
+            (LineClass::Pointer, 0.30),
+            (LineClass::Random, 0.25),
+        ],
+    }
+}
+
+/// Zeus: event-driven web server, same data set as apache.
+///
+/// Targets: ratio ≈ 1.6; the commercial workload where plain prefetching
+/// helps most (+21 %, Table 5) — longer, more accurate streams (L1D
+/// accuracy 79 %, Table 4); working set like apache's.
+fn zeus() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "zeus",
+        class: WorkloadClass::Commercial,
+        inst_footprint_lines: 6144, // event loop: smaller code than apache
+        inst_hot_lines: 1280,
+        inst_hot_fraction: 0.90,
+        inst_run_mean_lines: 7.0,
+        mem_ratio: 0.30,
+        store_fraction: 0.28,
+        dependent_fraction: 0.4,
+        stride_fraction: 0.06,
+        shared_fraction: 0.30,
+        pool_run_mean: 16.0,
+        streams_per_core: 4,
+        stream_len_lines: 64,
+        accesses_per_line: 8,
+        stride_choices: COMMERCIAL_STRIDES,
+        stream_region_lines: 1 << 16,
+        shared_pool_lines: 1 << 17,
+        shared_tier1_lines: 512,
+        shared_tier1_fraction: 0.938,
+        shared_hot_lines: 18_432, // 1.15 MB
+        shared_hot_fraction: 0.050,
+        shared_store_fraction: 0.10,
+        private_pool_lines: 1 << 15,
+        private_tier1_lines: 512,
+        private_tier1_fraction: 0.962,
+        private_hot_lines: 5_632, // 352 KB × 8 = 2.75 MB
+        private_hot_fraction: 0.030,
+        value_classes: &[
+            (LineClass::Zero, 0.12),
+            (LineClass::SmallInt, 0.25),
+            (LineClass::Pointer, 0.33),
+            (LineClass::Random, 0.30),
+        ],
+    }
+}
+
+/// OLTP: TPC-C on DB2.
+///
+/// Targets: ratio ≈ 1.5; the paper's biggest instruction footprint (L1I
+/// prefetch rate 13.5/1k, Table 4); almost no useful data streams (L1D
+/// coverage 6.6 %); prefetching alone ≈ 0 % speedup; heavy shared
+/// (buffer-pool/lock) traffic.
+fn oltp() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "oltp",
+        class: WorkloadClass::Commercial,
+        inst_footprint_lines: 32_768, // 2 MB of DBMS code
+        inst_hot_lines: 2_048,        // 128 KB hot — far beyond the L1I
+        inst_hot_fraction: 0.85,
+        inst_run_mean_lines: 4.0, // branchy
+        mem_ratio: 0.30,
+        store_fraction: 0.28,
+        dependent_fraction: 0.5,
+        stride_fraction: 0.03,
+        shared_fraction: 0.45,
+        pool_run_mean: 2.5,
+        streams_per_core: 2,
+        stream_len_lines: 16,
+        accesses_per_line: 4,
+        stride_choices: COMMERCIAL_STRIDES,
+        stream_region_lines: 1 << 15,
+        shared_pool_lines: 1 << 17, // 8 MB buffer pool
+        shared_tier1_lines: 512,
+        shared_tier1_fraction: 0.940,
+        shared_hot_lines: 24_576, // 1.5 MB hot pages
+        shared_hot_fraction: 0.050,
+        shared_store_fraction: 0.15,
+        private_pool_lines: 1 << 15,
+        private_tier1_lines: 512,
+        private_tier1_fraction: 0.970,
+        private_hot_lines: 4_608, // 288 KB × 8 = 2.25 MB
+        private_hot_fraction: 0.025,
+        value_classes: &[
+            (LineClass::Zero, 0.10),
+            (LineClass::SmallInt, 0.22),
+            (LineClass::Pointer, 0.30),
+            (LineClass::Random, 0.38),
+        ],
+    }
+}
+
+/// SPECjbb2000 on a server JVM.
+///
+/// Targets: ratio ≈ 1.4; the prefetching disaster case (−24.5 %, Table 5;
+/// L2 accuracy 32 %, Table 4): short object-walk streams waste the 25-deep
+/// L2 startup burst and pollute a tight ~4.5 MB heap working set.
+fn jbb() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "jbb",
+        class: WorkloadClass::Commercial,
+        inst_footprint_lines: 12_288, // JIT code cache
+        inst_hot_lines: 1_024,        // 64 KB hot traces ≈ L1I size
+        inst_hot_fraction: 0.92,
+        inst_run_mean_lines: 6.0,
+        mem_ratio: 0.30,
+        store_fraction: 0.30,
+        dependent_fraction: 0.55,
+        stride_fraction: 0.04,
+        shared_fraction: 0.15, // warehouses are mostly thread-private
+        pool_run_mean: 4.0,
+        streams_per_core: 4,
+        stream_len_lines: 8, // short object scans → inaccurate streams
+        accesses_per_line: 2,
+        stride_choices: JBB_STRIDES,
+        stream_region_lines: 1 << 14, // 1 MB/core of object scans: misses the L2
+        shared_pool_lines: 1 << 16,
+        shared_tier1_lines: 512,
+        shared_tier1_fraction: 0.930,
+        shared_hot_lines: 8_192, // 512 KB
+        shared_hot_fraction: 0.060,
+        shared_store_fraction: 0.12,
+        private_pool_lines: 1 << 16, // 4 MB per-warehouse heap
+        private_tier1_lines: 512,
+        private_tier1_fraction: 0.940,
+        private_hot_lines: 8_192, // 512 KB × 8 = 4 MB live objects
+        private_hot_fraction: 0.055,
+        value_classes: &[
+            (LineClass::Zero, 0.08),
+            (LineClass::SmallInt, 0.20),
+            (LineClass::Pointer, 0.28),
+            (LineClass::Random, 0.44),
+        ],
+    }
+}
+
+/// art (SPEComp): neural-network image recognition.
+///
+/// Targets: ratio ≈ 1.15; tiny code; torrential but *cache-resident*
+/// streams (the paper's highest L1D prefetch rate, 56/1k; its ~4 MB
+/// working set re-sweeps, so it sits exactly on the capacity edge where
+/// compression still helps a little, +3.1 % in Table 5).
+fn art() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "art",
+        class: WorkloadClass::Scientific,
+        inst_footprint_lines: 64, // 4 KB loop kernels
+        inst_hot_lines: 64,
+        inst_hot_fraction: 1.0,
+        inst_run_mean_lines: 16.0,
+        mem_ratio: 0.38,
+        store_fraction: 0.20,
+        dependent_fraction: 0.15,
+        stride_fraction: 0.85,
+        shared_fraction: 0.0,
+        pool_run_mean: 1.0,
+        streams_per_core: 8,
+        stream_len_lines: 512,
+        accesses_per_line: 2,
+        stride_choices: ART_STRIDES,
+        stream_region_lines: 4_608, // 384 KB/core → 3 MB total, re-swept
+        shared_pool_lines: 1,
+        shared_tier1_lines: 1,
+        shared_tier1_fraction: 0.0,
+        shared_hot_lines: 1,
+        shared_hot_fraction: 0.0,
+        shared_store_fraction: 0.0,
+        private_pool_lines: 1_024,
+        private_tier1_lines: 256,
+        private_tier1_fraction: 0.70,
+        private_hot_lines: 256,
+        private_hot_fraction: 0.25,
+        value_classes: &[
+            (LineClass::Zero, 0.05),
+            (LineClass::Fp { zero_word_permille: 250 }, 0.60),
+            (LineClass::Fp { zero_word_permille: 100 }, 0.35),
+        ],
+    }
+}
+
+/// apsi (SPEComp): pollutant-distribution weather code.
+///
+/// Targets: ratio ≈ 1.01 (the incompressible extreme); its grid slabs fit
+/// in the L2 after warmup → the paper's lowest L2 prefetch rate (4.6/1k)
+/// at near-perfect coverage/accuracy (95.8 % / 97.6 %).
+fn apsi() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "apsi",
+        class: WorkloadClass::Scientific,
+        inst_footprint_lines: 128,
+        inst_hot_lines: 128,
+        inst_hot_fraction: 1.0,
+        inst_run_mean_lines: 16.0,
+        mem_ratio: 0.35,
+        store_fraction: 0.25,
+        dependent_fraction: 0.1,
+        stride_fraction: 0.30,
+        shared_fraction: 0.0,
+        pool_run_mean: 1.0,
+        streams_per_core: 4,
+        stream_len_lines: 4_096,
+        accesses_per_line: 8,
+        stride_choices: APSI_STRIDES,
+        stream_region_lines: 1 << 15, // 256 KB/core → 2 MB total: L2-resident
+        shared_pool_lines: 1,
+        shared_tier1_lines: 1,
+        shared_tier1_fraction: 0.0,
+        shared_hot_lines: 1,
+        shared_hot_fraction: 0.0,
+        shared_store_fraction: 0.0,
+        private_pool_lines: 2_048,
+        private_tier1_lines: 256,
+        private_tier1_fraction: 0.70,
+        private_hot_lines: 512,
+        private_hot_fraction: 0.27,
+        value_classes: &[
+            (LineClass::Zero, 0.01),
+            (LineClass::Fp { zero_word_permille: 30 }, 0.99),
+        ],
+    }
+}
+
+/// fma3d (SPEComp): crash-simulation finite elements.
+///
+/// Targets: ratio ≈ 1.19; the bandwidth hog (27.7 GB/s demand, Fig 4;
+/// link compression alone gives it a 23 % speedup, Fig 5); giant
+/// streamed meshes → compression saves no misses; write-heavy.
+fn fma3d() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "fma3d",
+        class: WorkloadClass::Scientific,
+        inst_footprint_lines: 256,
+        inst_hot_lines: 256,
+        inst_hot_fraction: 1.0,
+        inst_run_mean_lines: 14.0,
+        mem_ratio: 0.33,
+        store_fraction: 0.35,
+        dependent_fraction: 0.05,
+        stride_fraction: 0.60,
+        shared_fraction: 0.0,
+        pool_run_mean: 1.0,
+        streams_per_core: 6,
+        stream_len_lines: 2_048,
+        accesses_per_line: 8, // gathers touch most of each fetched line
+        stride_choices: FMA3D_STRIDES,
+        stream_region_lines: 1 << 20, // 64 MB/core: pure streaming
+        shared_pool_lines: 1,
+        shared_tier1_lines: 1,
+        shared_tier1_fraction: 0.0,
+        shared_hot_lines: 1,
+        shared_hot_fraction: 0.0,
+        shared_store_fraction: 0.0,
+        private_pool_lines: 2_048,
+        private_tier1_lines: 256,
+        private_tier1_fraction: 0.70,
+        private_hot_lines: 512,
+        private_hot_fraction: 0.27,
+        value_classes: &[
+            (LineClass::Zero, 0.10),
+            (LineClass::Fp { zero_word_permille: 250 }, 0.55),
+            (LineClass::Fp { zero_word_permille: 100 }, 0.35),
+        ],
+    }
+}
+
+/// mgrid (SPEComp): multi-grid solver.
+///
+/// Targets: ratio ≈ 1.08; the unit-stride showcase (80 % L1D coverage at
+/// 94 % accuracy, Table 4; +19 % from prefetching alone, Table 5); dense
+/// sweeps over grids much larger than the L2.
+fn mgrid() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mgrid",
+        class: WorkloadClass::Scientific,
+        inst_footprint_lines: 128,
+        inst_hot_lines: 128,
+        inst_hot_fraction: 1.0,
+        inst_run_mean_lines: 16.0,
+        mem_ratio: 0.26,
+        store_fraction: 0.30,
+        dependent_fraction: 0.05,
+        stride_fraction: 0.42,
+        shared_fraction: 0.0,
+        pool_run_mean: 1.0,
+        streams_per_core: 4,
+        stream_len_lines: 8_192,
+        accesses_per_line: 8, // dense double-precision unit sweep
+        stride_choices: UNIT_STRIDES,
+        stream_region_lines: 1 << 19, // 32 MB/core grids
+        shared_pool_lines: 1,
+        shared_tier1_lines: 1,
+        shared_tier1_fraction: 0.0,
+        shared_hot_lines: 1,
+        shared_hot_fraction: 0.0,
+        shared_store_fraction: 0.0,
+        private_pool_lines: 2_048,
+        private_tier1_lines: 256,
+        private_tier1_fraction: 0.70,
+        private_hot_lines: 512,
+        private_hot_fraction: 0.25,
+        value_classes: &[
+            (LineClass::Zero, 0.05),
+            (LineClass::Fp { zero_word_permille: 250 }, 0.35),
+            (LineClass::Fp { zero_word_permille: 100 }, 0.60),
+        ],
+    }
+}
+
+/// Looks up a workload by its paper name.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_trace::workload;
+/// assert!(workload("zeus").is_some());
+/// assert!(workload("doom").is_none());
+/// ```
+pub fn workload(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// All eight benchmarks in the paper's presentation order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![apache(), zeus(), oltp(), jbb(), art(), apsi(), fma3d(), mgrid()]
+}
+
+/// The four Wisconsin commercial workloads.
+pub fn commercial_workloads() -> Vec<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Commercial)
+        .collect()
+}
+
+/// The four SPEComp benchmarks.
+pub fn scientific_workloads() -> Vec<WorkloadSpec> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Scientific)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3 calibration targets for the value mixtures.
+    const RATIO_TARGETS: &[(&str, f64)] = &[
+        ("apache", 1.75),
+        ("zeus", 1.60),
+        ("oltp", 1.50),
+        ("jbb", 1.40),
+        ("art", 1.15),
+        ("apsi", 1.01),
+        ("fma3d", 1.19),
+        ("mgrid", 1.08),
+    ];
+
+    #[test]
+    fn all_specs_validate() {
+        for w in all_workloads() {
+            w.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names: Vec<_> = all_workloads().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            ["apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"]
+        );
+    }
+
+    #[test]
+    fn families_split_four_four() {
+        assert_eq!(commercial_workloads().len(), 4);
+        assert_eq!(scientific_workloads().len(), 4);
+    }
+
+    #[test]
+    fn value_mixtures_hit_table3_targets() {
+        for (name, target) in RATIO_TARGETS {
+            let w = workload(name).unwrap();
+            let ratio = w.value_profile(17).expected_ratio(6_000);
+            assert!(
+                (ratio - target).abs() < 0.15,
+                "{name}: expected ratio ≈ {target}, model gives {ratio:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn commercial_compresses_better_than_scientific() {
+        let worst_commercial = commercial_workloads()
+            .iter()
+            .map(|w| w.value_profile(3).expected_ratio(3_000))
+            .fold(f64::INFINITY, f64::min);
+        let best_scientific = scientific_workloads()
+            .iter()
+            .map(|w| w.value_profile(3).expected_ratio(3_000))
+            .fold(0.0, f64::max);
+        assert!(worst_commercial > best_scientific);
+    }
+
+    #[test]
+    fn commercial_hot_sets_straddle_the_l2(){
+        // The compression lever: tier-1 + hot working set (shared + all
+        // cores' private + hot code) must exceed 4 MB but fit within the
+        // workload's compressed effective capacity.
+        for w in commercial_workloads() {
+            let hot_lines = w.shared_hot_lines
+                + w.shared_tier1_lines
+                + 8 * (w.private_hot_lines + w.private_tier1_lines)
+                + w.inst_hot_lines;
+            let hot_bytes = hot_lines * 64;
+            let l2 = 4 * 1024 * 1024;
+            assert!(hot_bytes > l2, "{}: hot set {hot_bytes} fits uncompressed", w.name);
+            let ratio = w.value_profile(1).expected_ratio(2_000);
+            let effective = (l2 as f64 * ratio) as u64;
+            assert!(
+                hot_bytes < effective + l2 / 2,
+                "{}: hot set {hot_bytes} unreachable even compressed ({effective})",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_paper_names() {
+        assert!(workload("APACHE").is_none());
+        assert_eq!(workload("mgrid").unwrap().name, "mgrid");
+    }
+}

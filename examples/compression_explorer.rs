@@ -1,0 +1,68 @@
+//! Compression explorer: what FPC does to different kinds of data, and
+//! what that means for each benchmark's cache and link behavior.
+//!
+//! ```sh
+//! cargo run --release --example compression_explorer
+//! ```
+
+use cmpsim::fpc::{compress, LINE_BYTES};
+use cmpsim::report::Table;
+use cmpsim::trace::all_workloads;
+
+fn show_line(t: &mut Table, label: &str, line: &[u8; LINE_BYTES]) {
+    let c = compress(line);
+    t.row(&[
+        label.into(),
+        c.bits().to_string(),
+        c.segments().to_string(),
+        format!("{:.2}x", 8.0 / f64::from(c.segments())),
+        if c.is_compressible() { "yes".into() } else { "no".into() },
+    ]);
+}
+
+fn main() {
+    // Hand-built lines demonstrating each FPC pattern class.
+    let mut t = Table::new(&["data", "bits", "segments", "gain", "compressible"]);
+
+    show_line(&mut t, "all zeros", &[0u8; LINE_BYTES]);
+
+    let mut small = [0u8; LINE_BYTES];
+    for (i, w) in small.chunks_exact_mut(4).enumerate() {
+        w.copy_from_slice(&(i as u32 % 100).to_le_bytes());
+    }
+    show_line(&mut t, "small counters", &small);
+
+    let mut ptrs = [0u8; LINE_BYTES];
+    for (i, q) in ptrs.chunks_exact_mut(8).enumerate() {
+        q.copy_from_slice(&(0x7f3a_1000u64 + i as u64 * 64).to_le_bytes());
+    }
+    show_line(&mut t, "heap pointers", &ptrs);
+
+    let mut fp = [0u8; LINE_BYTES];
+    for (i, w) in fp.chunks_exact_mut(4).enumerate() {
+        let bits = (1.0f32 / (i as f32 + 1.137)).to_bits();
+        w.copy_from_slice(&bits.to_le_bytes());
+    }
+    show_line(&mut t, "float mantissas", &fp);
+
+    let mut rnd = [0u8; LINE_BYTES];
+    let mut x = 0x243F_6A88u32;
+    for b in rnd.iter_mut() {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        *b = (x >> 24) as u8 | 0x80;
+    }
+    show_line(&mut t, "high entropy", &rnd);
+
+    t.print("FPC on different data (64-byte lines)");
+
+    // Benchmark value models → Table 3 ratios.
+    let mut w = Table::new(&["benchmark", "expected L2 ratio", "family"]);
+    for spec in all_workloads() {
+        w.row(&[
+            spec.name.into(),
+            format!("{:.2}", spec.value_profile(7).expected_ratio(4000)),
+            format!("{:?}", spec.class),
+        ]);
+    }
+    w.print("Benchmark value mixtures (calibrated to the paper's Table 3)");
+}

@@ -1,0 +1,199 @@
+//! End-to-end integration tests across the whole simulator stack.
+//!
+//! These use short ("smoke") simulations; they check invariants and
+//! directional behavior, not calibrated magnitudes (those are the bench
+//! harnesses' job).
+
+use cmpsim::{workload, PrefetchMode, System, SystemConfig, Variant};
+
+const WARM: u64 = 30_000;
+const MEASURE: u64 = 80_000;
+
+fn run(cfg: SystemConfig, name: &str) -> cmpsim::RunResult {
+    let spec = workload(name).expect("known workload");
+    let mut sys = System::new(cfg, &spec);
+    sys.run(WARM, MEASURE)
+}
+
+#[test]
+fn deterministic_for_equal_seeds() {
+    let cfg = Variant::PrefetchCompression.apply(SystemConfig::paper_default(4));
+    let a = run(cfg.clone(), "zeus");
+    let b = run(cfg, "zeus");
+    assert_eq!(a.runtime(), b.runtime());
+    assert_eq!(a.stats.l2.demand_misses, b.stats.l2.demand_misses);
+    assert_eq!(a.stats.link.total_bytes, b.stats.link.total_bytes);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let base = SystemConfig::paper_default(4);
+    let a = run(base.clone().with_seed(1), "zeus");
+    let b = run(base.with_seed(2), "zeus");
+    assert_ne!(a.runtime(), b.runtime());
+}
+
+#[test]
+fn all_workloads_run_under_all_variants() {
+    for spec in cmpsim::all_workloads() {
+        for v in Variant::all() {
+            let cfg = v.apply(SystemConfig::paper_default(2));
+            let mut sys = System::new(cfg, &spec);
+            let r = sys.run(5_000, 15_000);
+            assert!(r.runtime() > 0, "{}/{v}: zero runtime", spec.name);
+            assert!(r.ipc() > 0.0, "{}/{v}: zero IPC", spec.name);
+            assert!(
+                r.stats.instructions >= 2 * 15_000,
+                "{}/{v}: measured too few instructions",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_measured_instruction_is_accounted() {
+    let r = run(SystemConfig::paper_default(8), "apache");
+    // Fixed work: 8 cores × MEASURE instructions (±1 per core for quota
+    // clipping at event granularity).
+    let expect = 8 * MEASURE;
+    assert!(
+        r.stats.instructions >= expect && r.stats.instructions <= expect + 8 * 16,
+        "instructions {} vs quota {expect}",
+        r.stats.instructions
+    );
+}
+
+#[test]
+fn compression_reduces_misses_on_compressible_workload() {
+    // Longer run: capacity effects need a warm cache.
+    let spec = workload("apache").unwrap();
+    let base = SystemConfig::paper_default(8);
+    let mut b = System::new(Variant::Base.apply(base.clone()), &spec);
+    let rb = b.run(600_000, 300_000);
+    let mut c = System::new(Variant::CacheCompression.apply(base), &spec);
+    let rc = c.run(600_000, 300_000);
+    assert!(
+        rc.stats.compression_ratio() > 1.3,
+        "apache should compress well, got {}",
+        rc.stats.compression_ratio()
+    );
+    assert!(
+        rc.stats.l2.demand_misses < rb.stats.l2.demand_misses,
+        "compression should cut apache's L2 misses ({} vs {})",
+        rc.stats.l2.demand_misses,
+        rb.stats.l2.demand_misses
+    );
+}
+
+#[test]
+fn link_compression_cuts_traffic_on_compressible_workload() {
+    let base = SystemConfig::paper_default(8);
+    let rb = run(Variant::Base.apply(base.clone()), "apache");
+    let rl = run(Variant::LinkCompression.apply(base), "apache");
+    let per_miss_b = rb.stats.link.total_bytes as f64 / rb.stats.mem_reads.max(1) as f64;
+    let per_miss_l = rl.stats.link.total_bytes as f64 / rl.stats.mem_reads.max(1) as f64;
+    assert!(
+        per_miss_l < per_miss_b * 0.85,
+        "link compression should cut bytes/miss by >15% ({per_miss_l:.1} vs {per_miss_b:.1})"
+    );
+}
+
+#[test]
+fn incompressible_workload_stays_incompressible() {
+    let r = run(Variant::CacheCompression.apply(SystemConfig::paper_default(4)), "apsi");
+    let ratio = r.stats.compression_ratio();
+    assert!(
+        (0.99..1.1).contains(&ratio),
+        "apsi's FP data should not compress, got {ratio}"
+    );
+}
+
+#[test]
+fn prefetching_covers_streaming_misses() {
+    let base = SystemConfig::paper_default(8);
+    let rb = run(Variant::Base.apply(base.clone()), "mgrid");
+    let rp = run(Variant::Prefetch.apply(base), "mgrid");
+    assert!(
+        rp.stats.l2.demand_misses * 2 < rb.stats.l2.demand_misses,
+        "unit-stride mgrid should be >50% covered ({} vs {})",
+        rp.stats.l2.demand_misses,
+        rb.stats.l2.demand_misses
+    );
+    assert!(rp.stats.l2.coverage_pct() > 40.0);
+}
+
+#[test]
+fn adaptive_throttle_engages_on_hostile_workload() {
+    let spec = workload("jbb").unwrap();
+    let base = SystemConfig::paper_default(8);
+    let mut p = System::new(Variant::Prefetch.apply(base.clone()), &spec);
+    let rp = p.run(300_000, 200_000);
+    let mut a = System::new(Variant::AdaptivePrefetch.apply(base), &spec);
+    let ra = a.run(300_000, 200_000);
+    assert!(
+        ra.stats.l2.prefetches_issued < rp.stats.l2.prefetches_issued / 2,
+        "throttle should cut jbb's junk prefetches ({} vs {})",
+        ra.stats.l2.prefetches_issued,
+        rp.stats.l2.prefetches_issued
+    );
+    assert!(ra.stats.harmful_prefetch_detections > 0, "harmful rule never fired");
+}
+
+#[test]
+fn infinite_link_never_queues() {
+    let cfg = SystemConfig::paper_default(4).with_link(cmpsim::LinkBandwidth::Infinite);
+    let r = run(Variant::Prefetch.apply(cfg), "fma3d");
+    assert_eq!(r.stats.link.queue_delay_cycles, 0);
+    assert!(r.stats.link.total_bytes > 0);
+}
+
+#[test]
+fn narrower_link_is_never_faster() {
+    let spec = workload("fma3d").unwrap();
+    let mut runtimes = Vec::new();
+    for bw in [10u32, 20, 80] {
+        let cfg = SystemConfig::paper_default(8).with_link(cmpsim::LinkBandwidth::GBps(bw));
+        let mut sys = System::new(cfg, &spec);
+        runtimes.push(sys.run(WARM, MEASURE).runtime());
+    }
+    assert!(runtimes[0] >= runtimes[1], "10 GB/s faster than 20 GB/s?");
+    assert!(runtimes[1] >= runtimes[2], "20 GB/s faster than 80 GB/s?");
+}
+
+#[test]
+fn single_core_systems_work() {
+    let r = run(SystemConfig::paper_default(1), "zeus");
+    assert!(r.ipc() > 0.0 && r.ipc() <= 1.0, "1-wide core IPC bound");
+}
+
+#[test]
+fn sixteen_core_systems_work() {
+    let spec = workload("apache").unwrap();
+    let mut sys = System::new(SystemConfig::paper_default(16), &spec);
+    let r = sys.run(10_000, 30_000);
+    assert!(r.stats.instructions >= 16 * 30_000);
+}
+
+#[test]
+fn prefetch_off_issues_no_prefetches() {
+    let r = run(SystemConfig::paper_default(4), "mgrid");
+    assert_eq!(r.stats.l1d.prefetches_issued, 0);
+    assert_eq!(r.stats.l2.prefetches_issued, 0);
+    assert_eq!(r.stats.l1i.prefetches_issued, 0);
+}
+
+#[test]
+fn prefetch_mode_flag_controls_structure() {
+    let cfg = SystemConfig::paper_default(2).with_prefetch(PrefetchMode::Adaptive);
+    assert!(cfg.uses_vsc(), "adaptive prefetching borrows the VSC's tags");
+}
+
+#[test]
+fn coherence_traffic_appears_only_with_sharing() {
+    let base = SystemConfig::paper_default(8);
+    let shared = run(base.clone(), "oltp"); // heavy shared pool
+    let private = run(base, "mgrid"); // no sharing
+    assert!(shared.stats.coherence.invalidations > 0, "oltp must invalidate");
+    assert_eq!(private.stats.coherence.invalidations, 0, "mgrid shares nothing");
+}
