@@ -1,0 +1,61 @@
+//! Ablation: serial vs parallel execution of the paper's 8×4 experiment
+//! grid (8 workloads × {base, compression, prefetching, both}).
+//!
+//! Asserts bit-identical results at every thread count, then times both
+//! paths and writes wall-clock speedups to
+//! `target/bench/abl_parallel_grid.json`. Speedup saturates at the
+//! machine's core count (`hardware_threads` metric); on a single-core
+//! box every configuration measures ~1×.
+
+use cmpsim_bench::SEED;
+use cmpsim_core::experiment::{run_grid_parallel, run_grid_serial, SimLength};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_harness::bench::Runner;
+use cmpsim_harness::pool::default_threads;
+use cmpsim_trace::all_workloads;
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn main() {
+    let base = SystemConfig::paper_default(8).with_seed(SEED);
+    // Short per-cell runs by default so the sweep finishes in seconds;
+    // override for a realistic-length measurement.
+    let len = SimLength {
+        warmup: env_u64("CMPSIM_WARMUP").unwrap_or(20_000),
+        measure: env_u64("CMPSIM_MEASURE").unwrap_or(80_000),
+    };
+    let specs = all_workloads();
+    let variants = [
+        Variant::Base,
+        Variant::BothCompression,
+        Variant::Prefetch,
+        Variant::PrefetchCompression,
+    ];
+
+    let mut r = Runner::new("abl_parallel_grid", 1, 3);
+
+    let reference = run_grid_serial(&specs, &base, &variants, len);
+    assert_eq!(reference.len(), specs.len() * variants.len());
+
+    let serial_ns = r
+        .bench("grid/serial", || run_grid_serial(&specs, &base, &variants, len))
+        .median_ns;
+
+    for threads in [1usize, 2, 8] {
+        let cells = run_grid_parallel(&specs, &base, &variants, len, threads);
+        assert_eq!(reference, cells, "parallel grid diverged at {threads} threads");
+        let par_ns = r
+            .bench(&format!("grid/parallel_{threads}t"), || {
+                run_grid_parallel(&specs, &base, &variants, len, threads)
+            })
+            .median_ns;
+        r.metric(&format!("grid_speedup_{threads}t"), serial_ns as f64 / par_ns as f64);
+    }
+
+    r.metric("hardware_threads", default_threads() as f64);
+    r.metric("grid_cells", (specs.len() * variants.len()) as f64);
+    println!("parallel grid bit-identical to serial at 1, 2 and 8 threads");
+    r.write_json().expect("write bench artifact");
+}

@@ -1,28 +1,25 @@
 //! Figure 5: speedup of cache compression, link compression, and both,
 //! relative to the base system (no prefetching), on the 20 GB/s link.
 
-use cmpsim_bench::{paper, sim_length, SEED};
-use cmpsim_core::experiment::VariantGrid;
+use cmpsim_bench::{paper, parallel_grids, sim_length, SEED};
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
-use cmpsim_trace::all_workloads;
 
 fn main() {
     let base = SystemConfig::paper_default(8).with_seed(SEED);
     let len = sim_length();
     let mut t = Table::new(&["bench", "cache", "link", "both", "both (paper)"]);
-    for spec in all_workloads() {
-        let grid = VariantGrid::run(
-            &spec,
-            &base,
-            &[
-                Variant::Base,
-                Variant::CacheCompression,
-                Variant::LinkCompression,
-                Variant::BothCompression,
-            ],
-            len,
-        );
+    let grids = parallel_grids(
+        &base,
+        &[
+            Variant::Base,
+            Variant::CacheCompression,
+            Variant::LinkCompression,
+            Variant::BothCompression,
+        ],
+        len,
+    );
+    for (spec, grid) in grids {
         t.row(&[
             spec.name.into(),
             pct(grid.speedup_pct(Variant::CacheCompression)),

@@ -1,11 +1,9 @@
 //! Figure 6: speedup of base stride prefetching and adaptive prefetching
 //! relative to no prefetching.
 
-use cmpsim_bench::{paper, sim_length, SEED};
-use cmpsim_core::experiment::VariantGrid;
+use cmpsim_bench::{paper, parallel_grids, sim_length, SEED};
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
-use cmpsim_trace::all_workloads;
 
 fn main() {
     let base = SystemConfig::paper_default(8).with_seed(SEED);
@@ -13,13 +11,12 @@ fn main() {
     let mut t = Table::new(&[
         "bench", "pf", "adaptive-pf", "pf (paper)", "adaptive-pf (paper)",
     ]);
-    for spec in all_workloads() {
-        let grid = VariantGrid::run(
-            &spec,
-            &base,
-            &[Variant::Base, Variant::Prefetch, Variant::AdaptivePrefetch],
-            len,
-        );
+    let grids = parallel_grids(
+        &base,
+        &[Variant::Base, Variant::Prefetch, Variant::AdaptivePrefetch],
+        len,
+    );
+    for (spec, grid) in grids {
         t.row(&[
             spec.name.into(),
             pct(grid.speedup_pct(Variant::Prefetch)),

@@ -1,23 +1,20 @@
 //! Figure 9: speedups of prefetching, compression, and both combined,
 //! relative to the base system, for every benchmark.
 
-use cmpsim_bench::{paper, sim_length, SEED};
-use cmpsim_core::experiment::VariantGrid;
+use cmpsim_bench::{paper, parallel_grids, sim_length, SEED};
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
-use cmpsim_trace::all_workloads;
 
 fn main() {
     let base = SystemConfig::paper_default(8).with_seed(SEED);
     let len = sim_length();
     let mut t = Table::new(&["bench", "pf", "compr", "pf+compr", "pf(paper)", "compr(paper)", "pf+compr(paper)"]);
-    for spec in all_workloads() {
-        let grid = VariantGrid::run(
-            &spec,
-            &base,
-            &[Variant::Base, Variant::Prefetch, Variant::BothCompression, Variant::PrefetchCompression],
-            len,
-        );
+    let grids = parallel_grids(
+        &base,
+        &[Variant::Base, Variant::Prefetch, Variant::BothCompression, Variant::PrefetchCompression],
+        len,
+    );
+    for (spec, grid) in grids {
         t.row(&[
             spec.name.into(),
             pct(grid.speedup_pct(Variant::Prefetch)),

@@ -1,8 +1,7 @@
 //! Figure 10: base vs. adaptive prefetching, alone and combined with
 //! compression, for the commercial workloads (where adaptation matters).
 
-use cmpsim_bench::{sim_length, SEED};
-use cmpsim_core::experiment::VariantGrid;
+use cmpsim_bench::{parallel_grids_for, sim_length, SEED};
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
 use cmpsim_trace::commercial_workloads;
@@ -13,19 +12,19 @@ fn main() {
     let mut t = Table::new(&[
         "bench", "pf", "adaptive-pf", "pf+compr", "adaptive-pf+compr",
     ]);
-    for spec in commercial_workloads() {
-        let grid = VariantGrid::run(
-            &spec,
-            &base,
-            &[
-                Variant::Base,
-                Variant::Prefetch,
-                Variant::AdaptivePrefetch,
-                Variant::PrefetchCompression,
-                Variant::AdaptivePrefetchCompression,
-            ],
-            len,
-        );
+    let grids = parallel_grids_for(
+        commercial_workloads(),
+        &base,
+        &[
+            Variant::Base,
+            Variant::Prefetch,
+            Variant::AdaptivePrefetch,
+            Variant::PrefetchCompression,
+            Variant::AdaptivePrefetchCompression,
+        ],
+        len,
+    );
+    for (spec, grid) in grids {
         t.row(&[
             spec.name.into(),
             pct(grid.speedup_pct(Variant::Prefetch)),

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks: FPC codec throughput, VSC cache
-//! operations, and end-to-end simulator rate.
+//! Micro-benchmarks: FPC codec throughput, VSC cache operations, and
+//! end-to-end simulator rate. Uses the cmpsim-harness runner; results
+//! land in `target/bench/micro.json`.
 
 use cmpsim_cache::{BlockAddr, VscCache, VscConfig};
 use cmpsim_core::{System, SystemConfig, Variant};
 use cmpsim_fpc::{compress, compressed_segments, LINE_BYTES};
+use cmpsim_harness::bench::Runner;
 use cmpsim_trace::workload;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn line_with_mix(seed: u8) -> [u8; LINE_BYTES] {
     let mut line = [0u8; LINE_BYTES];
@@ -21,57 +22,45 @@ fn line_with_mix(seed: u8) -> [u8; LINE_BYTES] {
     line
 }
 
-fn bench_fpc(c: &mut Criterion) {
-    let lines: Vec<[u8; LINE_BYTES]> = (0..64).map(|i| line_with_mix(i)).collect();
-    let mut g = c.benchmark_group("fpc");
-    g.throughput(Throughput::Bytes((lines.len() * LINE_BYTES) as u64));
-    g.bench_function("compress_64_lines", |b| {
-        b.iter(|| {
+fn main() {
+    let mut r = Runner::new("micro", 5, 30);
+
+    let lines: Vec<[u8; LINE_BYTES]> = (0..64).map(line_with_mix).collect();
+    let fpc_median_ns = r
+        .bench("fpc/compress_64_lines", || {
             lines.iter().map(|l| u32::from(compressed_segments(l))).sum::<u32>()
         })
+        .median_ns;
+    let bytes = (lines.len() * LINE_BYTES) as f64;
+    r.metric("fpc_compress_gbps", bytes / fpc_median_ns as f64);
+    r.bench("fpc/roundtrip_64_lines", || {
+        lines.iter().map(|l| compress(l).decompress()[0] as u32).sum::<u32>()
     });
-    g.bench_function("roundtrip_64_lines", |b| {
-        b.iter(|| {
-            lines
-                .iter()
-                .map(|l| compress(l).decompress()[0] as u32)
-                .sum::<u32>()
-        })
-    });
-    g.finish();
-}
 
-fn bench_vsc(c: &mut Criterion) {
-    c.bench_function("vsc_fill_lookup_4k_ops", |b| {
-        b.iter(|| {
-            let mut cache: VscCache<u32> = VscCache::new(VscConfig {
-                sets: 64,
-                tags_per_set: 8,
-                segments_per_set: 32,
-            });
-            let mut acc = 0u64;
-            for i in 0..4096u64 {
-                cache.fill(BlockAddr(i * 17 % 1024), 1 + (i % 8) as u8, false, 0);
-                acc += u64::from(cache.lookup(BlockAddr(i % 1024)).is_hit());
-            }
-            acc
-        })
+    r.bench("vsc/fill_lookup_4k_ops", || {
+        let mut cache: VscCache<u32> = VscCache::new(VscConfig {
+            sets: 64,
+            tags_per_set: 8,
+            segments_per_set: 32,
+        });
+        let mut acc = 0u64;
+        for i in 0..4096u64 {
+            cache.fill(BlockAddr(i * 17 % 1024), 1 + (i % 8) as u8, false, 0);
+            acc += u64::from(cache.lookup(BlockAddr(i % 1024)).is_hit());
+        }
+        acc
     });
-}
 
-fn bench_sim(c: &mut Criterion) {
     let spec = workload("zeus").expect("zeus exists");
-    let mut g = c.benchmark_group("sim");
-    g.sample_size(10);
-    g.bench_function("zeus_8core_100k_instr", |b| {
-        b.iter(|| {
+    let sim_median_ns = r
+        .bench_with("sim/zeus_8core_100k_instr", 1, 10, || {
             let cfg = Variant::PrefetchCompression.apply(SystemConfig::paper_default(8));
             let mut sys = System::new(cfg, &spec);
             sys.run(20_000, 100_000).runtime()
         })
-    });
-    g.finish();
-}
+        .median_ns;
+    // 8 cores × 100k measured instructions per iteration.
+    r.metric("sim_minstr_per_s", 8.0 * 100_000.0 / (sim_median_ns as f64 / 1e9) / 1e6);
 
-criterion_group!(benches, bench_fpc, bench_vsc, bench_sim);
-criterion_main!(benches);
+    r.write_json().expect("write bench artifact");
+}

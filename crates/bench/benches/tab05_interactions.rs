@@ -2,26 +2,13 @@
 //! combinations, plus the EQ 5 interaction term, for every benchmark —
 //! the paper's central result.
 
-use cmpsim_bench::{paper, sim_length, SEED};
-use cmpsim_core::experiment::{SimLength, VariantGrid};
+use cmpsim_bench::{paper, parallel_grids, sim_length, SEED};
+use cmpsim_core::experiment::VariantGrid;
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
-use cmpsim_trace::{all_workloads, WorkloadSpec};
 
-/// Runs the five Table 5 rows for one workload.
-pub fn table5_row(spec: &WorkloadSpec, base: &SystemConfig, len: SimLength) -> [f64; 5] {
-    let grid = VariantGrid::run(
-        spec,
-        base,
-        &[
-            Variant::Base,
-            Variant::Prefetch,
-            Variant::BothCompression,
-            Variant::PrefetchCompression,
-            Variant::AdaptivePrefetchCompression,
-        ],
-        len,
-    );
+/// Extracts the five Table 5 rows for one workload's grid.
+pub fn table5_row(grid: &VariantGrid) -> [f64; 5] {
     [
         grid.speedup_pct(Variant::Prefetch),
         grid.speedup_pct(Variant::BothCompression),
@@ -37,8 +24,19 @@ fn main() {
     let headers =
         ["row", "apache", "zeus", "oltp", "jbb", "art", "apsi", "fma3d", "mgrid"];
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for spec in all_workloads() {
-        let r = table5_row(&spec, &base, len);
+    let grids = parallel_grids(
+        &base,
+        &[
+            Variant::Base,
+            Variant::Prefetch,
+            Variant::BothCompression,
+            Variant::PrefetchCompression,
+            Variant::AdaptivePrefetchCompression,
+        ],
+        len,
+    );
+    for (_spec, grid) in &grids {
+        let r = table5_row(grid);
         for (i, v) in r.iter().enumerate() {
             rows[i].push(*v);
         }

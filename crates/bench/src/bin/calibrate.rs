@@ -9,6 +9,7 @@
 use cmpsim_bench::{paper, sim_length, SEED};
 use cmpsim_core::report::Table;
 use cmpsim_core::{System, SystemConfig, Variant};
+use cmpsim_harness::pool;
 use cmpsim_link::LinkBandwidth;
 use cmpsim_trace::all_workloads;
 
@@ -17,24 +18,38 @@ fn main() {
     let len = sim_length();
     let base = SystemConfig::paper_default(8).with_seed(SEED);
 
+    let specs: Vec<_> = all_workloads()
+        .into_iter()
+        .filter(|spec| args.is_empty() || args.iter().any(|a| a == spec.name))
+        .collect();
+
+    // Each workload needs two independent runs (base on an infinite
+    // link for bandwidth *demand*, cache-compression for the ratio);
+    // fan the whole set out across cores.
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let base = &base;
+            move || {
+                let cfg =
+                    Variant::Base.apply(base.clone()).with_link(LinkBandwidth::Infinite);
+                let mut sys = System::new(cfg, spec);
+                let r = sys.run(len.warmup, len.measure);
+
+                let ccfg = Variant::CacheCompression.apply(base.clone());
+                let mut csys = System::new(ccfg, spec);
+                let cr = csys.run(len.warmup, len.measure);
+                (r, cr)
+            }
+        })
+        .collect();
+    let results = pool::run_indexed(pool::default_threads(), jobs);
+
     let mut t = Table::new(&[
         "bench", "IPC", "L1I mpki", "L1D mpki", "L2 mpki", "GB/s", "GB/s(paper)", "ratio",
         "ratio(paper)",
     ]);
-    for spec in all_workloads() {
-        if !args.is_empty() && !args.iter().any(|a| a == spec.name) {
-            continue;
-        }
-        // Base characteristics on an infinite link (bandwidth *demand*).
-        let cfg = Variant::Base.apply(base.clone()).with_link(LinkBandwidth::Infinite);
-        let mut sys = System::new(cfg, &spec);
-        let r = sys.run(len.warmup, len.measure);
-
-        // Compression ratio from a cache-compression run.
-        let ccfg = Variant::CacheCompression.apply(base.clone());
-        let mut csys = System::new(ccfg, &spec);
-        let cr = csys.run(len.warmup, len.measure);
-
+    for (spec, (r, cr)) in specs.iter().zip(results) {
         let i = r.stats.instructions;
         t.row(&[
             spec.name.into(),

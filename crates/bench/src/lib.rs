@@ -5,7 +5,10 @@
 //! set and paper reference values defined here so EXPERIMENTS.md can be
 //! rebuilt with `cargo bench`.
 
-use cmpsim_core::experiment::SimLength;
+use cmpsim_core::experiment::{run_grid_parallel, SimLength, VariantGrid};
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_harness::pool::default_threads;
+use cmpsim_trace::{all_workloads, WorkloadSpec};
 
 /// Paper reference values used in the `paper` columns of the harnesses.
 pub mod paper;
@@ -29,6 +32,44 @@ pub fn sim_length() -> SimLength {
 
 fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok()?.parse().ok()
+}
+
+/// Runs `variants` for every paper workload, fanning the whole
+/// `workloads × variants` grid out across cores, and returns one
+/// [`VariantGrid`] per workload in presentation order.
+///
+/// Results are bit-identical to calling `VariantGrid::run` per workload
+/// (see the determinism contract on
+/// [`run_grid_parallel`]); the figure/table
+/// harnesses use this so regenerating EXPERIMENTS.md scales with the
+/// machine. Thread count comes from `CMPSIM_THREADS` (default: all
+/// cores).
+pub fn parallel_grids(
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+) -> Vec<(WorkloadSpec, VariantGrid)> {
+    parallel_grids_for(all_workloads(), base, variants, len)
+}
+
+/// [`parallel_grids`] over an explicit workload list (e.g. only the
+/// commercial benchmarks).
+pub fn parallel_grids_for(
+    specs: Vec<WorkloadSpec>,
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+) -> Vec<(WorkloadSpec, VariantGrid)> {
+    let cells = run_grid_parallel(&specs, base, variants, len, default_threads());
+    specs
+        .into_iter()
+        .zip(cells.chunks(variants.len()))
+        .map(|(spec, chunk)| {
+            let grid =
+                VariantGrid::from_cells(chunk.iter().map(|c| (c.variant, c.result.clone())));
+            (spec, grid)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
-//! Property tests: classic set-associative cache vs. a naive LRU model.
+//! Property tests: classic set-associative cache vs. a naive LRU model
+//! (cmpsim-harness port — same reference-model invariant).
 
 use cmpsim_cache::{BlockAddr, SetAssocCache, SetAssocConfig};
-use proptest::prelude::*;
+use cmpsim_harness::{gen, prop::check, prop_assert_eq};
 use std::collections::VecDeque;
 
 /// Naive per-set LRU model.
@@ -30,18 +31,17 @@ impl ModelSet {
     }
 }
 
-proptest! {
-    #[test]
-    fn matches_reference_lru(
-        ops in prop::collection::vec((0u64..48, any::<bool>()), 1..400)
-    ) {
+#[test]
+fn matches_reference_lru() {
+    let ops = gen::vec_of(gen::pair(gen::u64s(0..48), gen::bools()), 1..400);
+    check("matches_reference_lru", &ops, |ops| {
         const SETS: usize = 4;
         const WAYS: usize = 4;
         let mut c: SetAssocCache<()> =
             SetAssocCache::new(SetAssocConfig { sets: SETS, ways: WAYS });
         let mut model: Vec<ModelSet> = (0..SETS).map(|_| ModelSet::default()).collect();
 
-        for (line, is_fill) in ops {
+        for &(line, is_fill) in ops {
             let addr = BlockAddr(line);
             let set = addr.set_index(SETS);
             if is_fill {
@@ -54,5 +54,6 @@ proptest! {
                 prop_assert_eq!(hit, model_hit);
             }
         }
-    }
+        Ok(())
+    });
 }

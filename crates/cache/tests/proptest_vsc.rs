@@ -1,15 +1,21 @@
 //! Property tests: VSC structural invariants under random operation
-//! streams.
+//! streams (cmpsim-harness port — same invariants as the proptest suite:
+//! segment accounting never exceeds capacity, no duplicate residents,
+//! model agreement, clean invalidation).
 
 use cmpsim_cache::{BlockAddr, VscCache, VscConfig, VscLookup};
-use proptest::prelude::*;
+use cmpsim_harness::{gen, prop::check, prop_assert, prop_assert_eq};
 use std::collections::HashMap;
 
 const SETS: usize = 4;
 const SEGMENTS: u32 = 32;
 const TAGS: usize = 8;
 
-fn check_invariants(c: &VscCache<u64>, model: &HashMap<BlockAddr, u8>) {
+fn new_cache() -> VscCache<u64> {
+    VscCache::new(VscConfig { sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS })
+}
+
+fn check_invariants(c: &VscCache<u64>, model: &HashMap<BlockAddr, u8>) -> Result<(), String> {
     // 1. Segment accounting: total used == sum of per-line sizes.
     let mut total = 0u64;
     let mut seen = Vec::new();
@@ -18,35 +24,36 @@ fn check_invariants(c: &VscCache<u64>, model: &HashMap<BlockAddr, u8>) {
         seen.push((addr, segs));
         assert!((1..=8).contains(&segs));
     });
-    assert_eq!(total, c.used_segments_total());
+    prop_assert_eq!(total, c.used_segments_total());
 
     // 2. No duplicate resident addresses.
     let mut addrs: Vec<_> = seen.iter().map(|(a, _)| *a).collect();
     addrs.sort();
     addrs.dedup();
-    assert_eq!(addrs.len(), seen.len(), "duplicate resident address");
+    prop_assert_eq!(addrs.len(), seen.len(), "duplicate resident address");
 
     // 3. Every resident line matches what the model last wrote.
     for (addr, segs) in &seen {
-        assert_eq!(model.get(addr), Some(segs), "stale size for {addr}");
+        prop_assert_eq!(model.get(addr), Some(segs), "stale size for {addr}");
     }
 
     // 4. Per-set capacity bounds (valid_lines <= tags, segments <= cap)
     //    hold globally.
-    assert!(c.valid_lines() <= SETS * TAGS);
-    assert!(c.used_segments_total() <= (SETS as u64) * u64::from(SEGMENTS));
+    prop_assert!(c.valid_lines() <= SETS * TAGS);
+    prop_assert!(c.used_segments_total() <= (SETS as u64) * u64::from(SEGMENTS));
+    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn random_fills_preserve_invariants(
-        ops in prop::collection::vec((0u64..64, 1u8..=8, any::<bool>()), 1..300)
-    ) {
-        let mut c: VscCache<u64> = VscCache::new(VscConfig {
-            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
-        });
+#[test]
+fn random_fills_preserve_invariants() {
+    let ops = gen::vec_of(
+        gen::triple(gen::u64s(0..64), gen::u8s(1..=8), gen::bools()),
+        1..300,
+    );
+    check("random_fills_preserve_invariants", &ops, |ops| {
+        let mut c = new_cache();
         let mut model: HashMap<BlockAddr, u8> = HashMap::new();
-        for (line, segs, prefetched) in ops {
+        for &(line, segs, prefetched) in ops {
             let addr = BlockAddr(line);
             let evicted = c.fill(addr, segs, prefetched, line);
             for e in &evicted {
@@ -54,51 +61,54 @@ proptest! {
                 model.remove(&e.addr);
             }
             model.insert(addr, segs);
-            check_invariants(&c, &model);
+            check_invariants(&c, &model)?;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lookup_agrees_with_model(
-        ops in prop::collection::vec((0u64..32, 1u8..=8), 1..200),
-        probes in prop::collection::vec(0u64..32, 1..50),
-    ) {
-        let mut c: VscCache<u64> = VscCache::new(VscConfig {
-            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
-        });
+#[test]
+fn lookup_agrees_with_model() {
+    let cases = gen::pair(
+        gen::vec_of(gen::pair(gen::u64s(0..32), gen::u8s(1..=8)), 1..200),
+        gen::vec_of(gen::u64s(0..32), 1..50),
+    );
+    check("lookup_agrees_with_model", &cases, |(ops, probes)| {
+        let mut c = new_cache();
         let mut model: HashMap<BlockAddr, u8> = HashMap::new();
-        for (line, segs) in ops {
+        for &(line, segs) in ops {
             let addr = BlockAddr(line);
             for e in c.fill(addr, segs, false, line) {
                 model.remove(&e.addr);
             }
             model.insert(addr, segs);
         }
-        for line in probes {
+        for &line in probes {
             let addr = BlockAddr(line);
             let hit = c.lookup(addr).is_hit();
             prop_assert_eq!(hit, model.contains_key(&addr),
                 "lookup/model disagree at {}", addr);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn invalidate_then_miss(
-        lines in prop::collection::vec(0u64..32, 1..50)
-    ) {
-        let mut c: VscCache<u64> = VscCache::new(VscConfig {
-            sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS,
-        });
-        for &line in &lines {
+#[test]
+fn invalidate_then_miss() {
+    let lines = gen::vec_of(gen::u64s(0..32), 1..50);
+    check("invalidate_then_miss", &lines, |lines| {
+        let mut c = new_cache();
+        for &line in lines {
             c.fill(BlockAddr(line), 4, false, line);
         }
-        for &line in &lines {
+        for &line in lines {
             c.invalidate(BlockAddr(line));
             prop_assert!(!c.lookup(BlockAddr(line)).is_hit());
         }
         prop_assert_eq!(c.used_segments_total(), 0);
         prop_assert_eq!(c.valid_lines(), 0);
-    }
+        Ok(())
+    });
 }
 
 #[test]

@@ -1,8 +1,9 @@
 //! Property tests: the directory invariants hold under arbitrary legal
-//! request streams, mirroring what an inclusive L2 would observe.
+//! request streams, mirroring what an inclusive L2 would observe
+//! (cmpsim-harness port — same MSI state-transition legality invariants).
 
 use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
-use proptest::prelude::*;
+use cmpsim_harness::{gen, prop::check, prop_assert, prop_assert_eq, Gen};
 
 const CORES: u8 = 8;
 
@@ -48,12 +49,16 @@ fn legal_request(state: MsiState, choice: u8) -> L1Request {
     }
 }
 
-proptest! {
-    #[test]
-    fn single_writer_multiple_reader(ops in prop::collection::vec((0u8..CORES, any::<u8>()), 1..200)) {
+fn op_stream(max_len: usize) -> Gen<Vec<(u8, u8)>> {
+    gen::vec_of(gen::pair(gen::u8s(0..CORES), gen::u8s(..)), 1..max_len)
+}
+
+#[test]
+fn single_writer_multiple_reader() {
+    check("single_writer_multiple_reader", &op_stream(200), |ops| {
         let mut dir = DirEntry::new();
         let mut model = vec![MsiState::Invalid; usize::from(CORES)];
-        for (core, choice) in ops {
+        for &(core, choice) in ops {
             let core = CoreId(core);
             let req = legal_request(model[core.index()], choice);
             let actions = dir.handle(core, req);
@@ -82,13 +87,16 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn recall_all_leaves_no_copies(ops in prop::collection::vec((0u8..CORES, any::<u8>()), 1..50)) {
+#[test]
+fn recall_all_leaves_no_copies() {
+    check("recall_all_leaves_no_copies", &op_stream(50), |ops| {
         let mut dir = DirEntry::new();
         let mut model = vec![MsiState::Invalid; usize::from(CORES)];
-        for (core, choice) in ops {
+        for &(core, choice) in ops {
             let core = CoreId(core);
             let req = legal_request(model[core.index()], choice);
             let actions = dir.handle(core, req);
@@ -103,5 +111,6 @@ proptest! {
         prop_assert!(model.iter().all(|s| *s == MsiState::Invalid));
         prop_assert!(!dir.has_l1_copies());
         prop_assert_eq!(dir.owner(), None);
-    }
+        Ok(())
+    });
 }

@@ -1,5 +1,6 @@
 //! Experiment drivers: run the paper's configuration grid over a
-//! workload, with multiple seeds for confidence intervals.
+//! workload, with multiple seeds for confidence intervals, serially or
+//! fanned out across cores.
 
 use crate::config::{SystemConfig, Variant};
 use crate::metrics;
@@ -52,6 +53,12 @@ pub struct VariantGrid {
 }
 
 impl VariantGrid {
+    /// Assembles a grid from already-computed `(variant, result)` cells —
+    /// e.g. one workload's slice of a [`run_grid_parallel`] sweep.
+    pub fn from_cells(cells: impl IntoIterator<Item = (Variant, RunResult)>) -> Self {
+        VariantGrid { results: cells.into_iter().collect() }
+    }
+
     /// Runs every variant in `variants` for `spec`.
     pub fn run(
         spec: &WorkloadSpec,
@@ -94,6 +101,79 @@ impl VariantGrid {
             self.speedup(Variant::PrefetchCompression),
         )
     }
+}
+
+/// One `(workload, variant)` cell of an experiment grid, with its result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Workload name as the paper prints it.
+    pub workload: &'static str,
+    /// Configuration variant this cell ran.
+    pub variant: Variant,
+    /// Seed the cell ran with (from the base configuration).
+    pub seed: u64,
+    /// Measured result.
+    pub result: RunResult,
+}
+
+/// Runs the full `workloads × variants` grid serially, in row-major
+/// order (all variants of the first workload, then the second, ...).
+///
+/// This is the paper's 8×4 evaluation sweep when called with
+/// `all_workloads()` and the four headline variants.
+pub fn run_grid_serial(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+) -> Vec<GridCell> {
+    specs
+        .iter()
+        .flat_map(|spec| {
+            variants.iter().map(move |&variant| GridCell {
+                workload: spec.name,
+                variant,
+                seed: base.seed,
+                result: run_variant(spec, base, variant, len),
+            })
+        })
+        .collect()
+}
+
+/// Runs the same grid as [`run_grid_serial`] with cells fanned out over
+/// `threads` workers, returning **bit-identical** results in the same
+/// row-major order.
+///
+/// Determinism contract: every cell is an independent pure function of
+/// `(spec, base, variant, len)` — each simulation owns its RNG streams
+/// (seeded from `base.seed`), its caches, and its counters, and no state
+/// is shared between cells. The pool only changes *when* a cell runs,
+/// never *what* it computes, so for any `threads >= 1`:
+///
+/// `run_grid_parallel(s, b, v, l, n) == run_grid_serial(s, b, v, l)`
+///
+/// `tests/determinism.rs` asserts this at 1, 2 and 8 threads.
+pub fn run_grid_parallel(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+    threads: usize,
+) -> Vec<GridCell> {
+    let jobs: Vec<_> = specs
+        .iter()
+        .flat_map(|spec| {
+            variants.iter().map(move |&variant| {
+                move || GridCell {
+                    workload: spec.name,
+                    variant,
+                    seed: base.seed,
+                    result: run_variant(spec, base, variant, len),
+                }
+            })
+        })
+        .collect();
+    cmpsim_harness::pool::run_indexed(threads, jobs)
 }
 
 /// Mean ± 95% CI of a per-seed metric.
@@ -155,6 +235,23 @@ mod tests {
         let est = across_seeds(&base, &[1, 2, 3], |cfg| cfg.seed as f64);
         assert!((est.mean - 2.0).abs() < 1e-12);
         assert!(est.ci95 > 0.0);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let specs: Vec<_> =
+            ["apsi", "mgrid"].iter().map(|n| workload(n).unwrap()).collect();
+        let base = SystemConfig::paper_default(2);
+        let variants = [Variant::Base, Variant::PrefetchCompression];
+        let len = SimLength { warmup: 2_000, measure: 8_000 };
+        let serial = run_grid_serial(&specs, &base, &variants, len);
+        assert_eq!(serial.len(), 4);
+        assert_eq!(serial[0].workload, "apsi");
+        assert_eq!(serial[1].variant, Variant::PrefetchCompression);
+        for threads in [1, 2, 8] {
+            let par = run_grid_parallel(&specs, &base, &variants, len, threads);
+            assert_eq!(serial, par, "parallel grid diverged at {threads} threads");
+        }
     }
 
     #[test]

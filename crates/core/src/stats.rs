@@ -87,7 +87,12 @@ pub struct CoherenceStats {
 }
 
 /// Every counter one simulation accumulates during measurement.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter exactly (the two `f64` fields are
+/// sums of exact per-sample values, so equal runs produce equal bits);
+/// the determinism tests rely on this to assert that serial and parallel
+/// grid drivers produce identical results.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Instructions retired across all cores during measurement.
     pub instructions: u64,
@@ -146,7 +151,7 @@ impl SimStats {
 }
 
 /// The outcome of one measured simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Counters accumulated during the measurement phase.
     pub stats: SimStats,

@@ -1,0 +1,164 @@
+//! Exhaustive FPC boundary tests: every pattern class at its minimum and
+//! maximum representable 32-bit word values, exact round-trips, and
+//! encoded sizes matching the paper's Table 2 segment sizing.
+
+use cmpsim_fpc::{
+    bits_to_segments, compress, encode_word, Pattern, LINE_BYTES, MAX_SEGMENTS, WORDS_PER_LINE,
+};
+
+fn roundtrip(word: u32) -> u32 {
+    let tok = encode_word(word);
+    let mut out = [0u32; 1];
+    tok.expand_into(&mut out);
+    out[0]
+}
+
+/// Builds a 64-byte line from 16 little-endian words.
+fn line_of(words: [u32; WORDS_PER_LINE]) -> [u8; LINE_BYTES] {
+    let mut line = [0u8; LINE_BYTES];
+    for (chunk, w) in line.chunks_exact_mut(4).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    line
+}
+
+/// Every 3-bit prefix class at its boundary values. Each case lists the
+/// word, the pattern that must win the priority match, and the total
+/// encoded bits (3-bit prefix + payload) per the Table 2 sizing.
+const BOUNDARY_CASES: &[(u32, Pattern, u32)] = &[
+    // ZeroRun: the single zero word (runs are a line-level concern).
+    (0x0000_0000, Pattern::ZeroRun, 6),
+    // Signed4: sign-extended 4-bit values, -8..=7 (excluding zero).
+    (0x0000_0001, Pattern::Signed4, 7),
+    (0x0000_0007, Pattern::Signed4, 7), // max
+    (0xFFFF_FFFF, Pattern::Signed4, 7), // -1: many classes match, smallest wins
+    (0xFFFF_FFF8, Pattern::Signed4, 7), // -8: min
+    // Signed8: sign-extended 8-bit values just outside the 4-bit range.
+    (0x0000_0008, Pattern::Signed8, 11), // min positive
+    (0x0000_007F, Pattern::Signed8, 11), // i8::MAX
+    (0xFFFF_FFF7, Pattern::Signed8, 11), // -9: min negative magnitude
+    (0xFFFF_FF80, Pattern::Signed8, 11), // i8::MIN; also TwoSignedBytes-shaped
+    // Signed16: sign-extended 16-bit values just outside the 8-bit range.
+    (0x0000_0080, Pattern::Signed16, 19), // 128: min positive
+    (0x0000_7FFF, Pattern::Signed16, 19), // i16::MAX
+    (0xFFFF_FF7F, Pattern::Signed16, 19), // -129
+    (0xFFFF_8000, Pattern::Signed16, 19), // i16::MIN; low halfword is zero too
+    // ZeroPadded16: low halfword zero, high halfword arbitrary.
+    (0x0001_0000, Pattern::ZeroPadded16, 19), // min beyond Signed16
+    (0x7FFF_0000, Pattern::ZeroPadded16, 19),
+    (0x8000_0000, Pattern::ZeroPadded16, 19), // i32::MIN
+    (0xFFFE_0000, Pattern::ZeroPadded16, 19), // negative, too wide for Signed16
+    // TwoSignedBytes: each halfword a sign-extended byte, low nonzero.
+    (0x007F_007F, Pattern::TwoSignedBytes, 19), // both at i8::MAX
+    (0xFF80_FF80, Pattern::TwoSignedBytes, 19), // both at i8::MIN
+    (0x0001_FFFF, Pattern::TwoSignedBytes, 19), // mixed signs
+    (0xFFFF_0001, Pattern::TwoSignedBytes, 19),
+    // RepeatedBytes: all four bytes equal, matching nothing smaller.
+    (0xABAB_ABAB, Pattern::RepeatedBytes, 11),
+    (0x0101_0101, Pattern::RepeatedBytes, 11), // smallest nonzero repeated byte
+    (0x7F7F_7F7F, Pattern::RepeatedBytes, 11),
+    (0x8080_8080, Pattern::RepeatedBytes, 11),
+    (0xFEFE_FEFE, Pattern::RepeatedBytes, 11), // 0xFF would be Signed4's -1
+    // Uncompressed: no pattern matches; stored verbatim.
+    (0xDEAD_BEEF, Pattern::Uncompressed, 35),
+    (0x00FF_00FF, Pattern::Uncompressed, 35), // halfwords not sign-extended bytes
+    (0x7FFF_FFFF, Pattern::Uncompressed, 35), // i32::MAX
+    (0x0001_0080, Pattern::Uncompressed, 35), // low halfword just past i8::MAX
+    (0x8000_0001, Pattern::Uncompressed, 35), // i32::MIN + 1
+];
+
+#[test]
+fn every_pattern_class_at_its_boundaries() {
+    for &(word, pattern, bits) in BOUNDARY_CASES {
+        let tok = encode_word(word);
+        assert_eq!(tok.pattern(), pattern, "wrong class for {word:#010x}");
+        assert_eq!(tok.bits(), bits, "wrong encoded size for {word:#010x}");
+        assert_eq!(tok.bits(), pattern.encoded_bits());
+        assert_eq!(roundtrip(word), word, "{word:#010x} failed to round-trip");
+    }
+}
+
+/// The priority order prefers smaller encodings when classes overlap.
+#[test]
+fn overlapping_classes_pick_the_smallest_encoding() {
+    // -1 fits Signed4/8/16, TwoSignedBytes and RepeatedBytes.
+    assert_eq!(encode_word(u32::MAX).pattern(), Pattern::Signed4);
+    // -128 fits Signed8 (11 bits) and TwoSignedBytes (19 bits).
+    assert_eq!(encode_word(0xFFFF_FF80).pattern(), Pattern::Signed8);
+    // i16::MIN fits Signed16 and ZeroPadded16 (both 19 bits): priority
+    // order, not size, breaks the tie.
+    assert_eq!(encode_word(0xFFFF_8000).pattern(), Pattern::Signed16);
+}
+
+/// Line-level sizes: compressed bits are the sum of token sizes and the
+/// segment count is the Table 2 rounding of that sum.
+#[test]
+fn line_bits_sum_tokens_and_round_to_segments() {
+    // All-zero line: two max-length zero runs (8 words each) = 12 bits,
+    // clamped up to one 64-bit segment.
+    let zeros = compress(&line_of([0; WORDS_PER_LINE]));
+    assert_eq!(zeros.bits(), 12);
+    assert_eq!(zeros.segments(), 1);
+    assert!(zeros.is_compressible());
+
+    // All-uncompressed line: 16 × 35 = 560 bits > 7 segments, so the
+    // line is stored uncompressed in all 8.
+    let hard = compress(&line_of([0xDEAD_BEEF; WORDS_PER_LINE]));
+    assert_eq!(hard.bits(), 16 * 35);
+    assert_eq!(hard.segments(), MAX_SEGMENTS);
+    assert!(!hard.is_compressible());
+
+    // Exactly at the compressible ceiling: 12 uncompressed words + 4
+    // Signed4 words = 12×35 + 4×7 = 448 bits = exactly 7 segments.
+    let mut words = [0xDEAD_BEEFu32; WORDS_PER_LINE];
+    for w in words.iter_mut().take(4) {
+        *w = 5;
+    }
+    let edge = compress(&line_of(words));
+    assert_eq!(edge.bits(), 448);
+    assert_eq!(edge.segments(), 7);
+    assert!(edge.is_compressible());
+
+    // One bit class heavier (a Signed8 instead of a Signed4 adds 4
+    // bits): 452 bits spills past 7 segments → stored uncompressed.
+    words[3] = 100;
+    let over = compress(&line_of(words));
+    assert_eq!(over.bits(), 452);
+    assert_eq!(over.segments(), MAX_SEGMENTS);
+    assert!(!over.is_compressible());
+}
+
+/// `bits_to_segments` boundaries at every segment edge.
+#[test]
+fn segment_rounding_at_every_edge() {
+    assert_eq!(bits_to_segments(0), 1); // floor: even empty lines take a segment
+    for seg in 1u32..=7 {
+        assert_eq!(bits_to_segments(seg * 64), seg as u8, "exact {seg}-segment fit");
+        let spill = if seg < 7 { seg as u8 + 1 } else { MAX_SEGMENTS };
+        assert_eq!(bits_to_segments(seg * 64 + 1), spill, "one bit past {seg} segments");
+    }
+    assert_eq!(bits_to_segments(8 * 64), MAX_SEGMENTS);
+    assert_eq!(bits_to_segments(u32::MAX), MAX_SEGMENTS);
+}
+
+/// Every boundary word embedded in a full line round-trips through the
+/// line codec, not just the word codec.
+#[test]
+fn boundary_words_roundtrip_at_line_level() {
+    for &(word, _, _) in BOUNDARY_CASES {
+        let mut words = [0u32; WORDS_PER_LINE];
+        // Surround with values from other classes so runs can't hide bugs.
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = match i % 4 {
+                0 => word,
+                1 => 0,
+                2 => 0xDEAD_BEEF,
+                _ => 5,
+            };
+        }
+        let line = line_of(words);
+        let c = compress(&line);
+        assert_eq!(c.decompress(), line, "line with {word:#010x} failed round-trip");
+        assert_eq!(c.segments(), bits_to_segments(c.bits()));
+    }
+}

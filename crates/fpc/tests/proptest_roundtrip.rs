@@ -1,54 +1,68 @@
-//! Property-based tests for the FPC codec.
+//! Property-based tests for the FPC codec (cmpsim-harness port of the
+//! original proptest suite — same invariants, hermetic runner).
 
 use cmpsim_fpc::{compress, compressed_segments, encode_word, LINE_BYTES, MAX_SEGMENTS};
-use proptest::prelude::*;
+use cmpsim_harness::{gen, prop::check, prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Every line round-trips exactly through compress/decompress.
-    #[test]
-    fn roundtrip_exact(line in prop::array::uniform32(any::<u8>()).prop_flat_map(|a| {
-        prop::array::uniform32(any::<u8>()).prop_map(move |b| {
-            let mut line = [0u8; LINE_BYTES];
-            line[..32].copy_from_slice(&a);
-            line[32..].copy_from_slice(&b);
-            line
-        })
-    })) {
+fn line_from(bytes: &[u8]) -> [u8; LINE_BYTES] {
+    let mut line = [0u8; LINE_BYTES];
+    line.copy_from_slice(bytes);
+    line
+}
+
+/// Every line round-trips exactly through compress/decompress.
+#[test]
+fn roundtrip_exact() {
+    check("roundtrip_exact", &gen::vec_exact(gen::u8s(..), LINE_BYTES), |bytes| {
+        let line = line_from(bytes);
         let c = compress(&line);
         prop_assert_eq!(c.decompress(), line);
         prop_assert!((1..=MAX_SEGMENTS).contains(&c.segments()));
         prop_assert_eq!(compressed_segments(&line), c.segments());
-    }
+        Ok(())
+    });
+}
 
-    /// Single-word encode/expand round-trips for arbitrary words.
-    #[test]
-    fn word_roundtrip(word in any::<u32>()) {
+/// Single-word encode/expand round-trips for arbitrary words.
+#[test]
+fn word_roundtrip() {
+    check("word_roundtrip", &gen::u32s(..), |&word| {
         let tok = encode_word(word);
         let mut out = [0u32; 8];
         tok.expand_into(&mut out);
         prop_assert_eq!(out[0], word);
-    }
+        Ok(())
+    });
+}
 
-    /// Compressed bit count is bounded by the uncompressed encoding
-    /// (16 words x 35 bits) and segments never exceed 8.
-    #[test]
-    fn size_bounds(line in prop::collection::vec(any::<u8>(), LINE_BYTES)) {
-        let arr: [u8; LINE_BYTES] = line.try_into().unwrap();
-        let c = compress(&arr);
+/// Compressed bit count is bounded by the uncompressed encoding
+/// (16 words x 35 bits) and segments never exceed 8.
+#[test]
+fn size_bounds() {
+    check("size_bounds", &gen::vec_exact(gen::u8s(..), LINE_BYTES), |bytes| {
+        let c = compress(&line_from(bytes));
         prop_assert!(c.bits() <= 16 * 35);
         prop_assert!(c.segments() <= MAX_SEGMENTS);
         prop_assert!(c.segments() >= 1);
-    }
+        Ok(())
+    });
+}
 
-    /// Lines built only from highly-compressible words stay small.
-    #[test]
-    fn compressible_lines_are_small(vals in prop::collection::vec(-8i32..=7, 16)) {
-        let mut arr = [0u8; LINE_BYTES];
-        for (chunk, v) in arr.chunks_exact_mut(4).zip(vals.iter()) {
-            chunk.copy_from_slice(&(*v as u32).to_le_bytes());
-        }
-        let c = compress(&arr);
-        // 16 x 7 bits = 112 bits -> 2 segments max.
-        prop_assert!(c.segments() <= 2);
-    }
+/// Lines built only from highly-compressible words stay small.
+#[test]
+fn compressible_lines_are_small() {
+    check(
+        "compressible_lines_are_small",
+        &gen::vec_exact(gen::i32s(-8..=7), 16),
+        |vals| {
+            let mut arr = [0u8; LINE_BYTES];
+            for (chunk, v) in arr.chunks_exact_mut(4).zip(vals.iter()) {
+                chunk.copy_from_slice(&(*v as u32).to_le_bytes());
+            }
+            let c = compress(&arr);
+            // 16 x 7 bits = 112 bits -> 2 segments max.
+            prop_assert!(c.segments() <= 2);
+            Ok(())
+        },
+    );
 }

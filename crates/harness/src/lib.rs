@@ -1,0 +1,31 @@
+//! Hermetic test and benchmark harness for the cmpsim workspace.
+//!
+//! The container this project builds in has **no crates.io access**, so the
+//! usual ecosystem crates (`proptest`, `criterion`, `rayon`) are off the
+//! table. This crate replaces exactly the slices of them the simulator
+//! needs, with zero dependencies beyond `std`:
+//!
+//! - [`prop`] + [`gen`] — a deterministic property-testing mini-framework:
+//!   seeded generators built on the same xorshift64* pattern as
+//!   `cmpsim_trace::Rng`, greedy shrinking on failure, and
+//!   `CMPSIM_PT_CASES` / `CMPSIM_PT_SEED` environment overrides.
+//! - [`bench`] — a self-contained benchmark runner (warmup + timed
+//!   iterations, median/p10/p90) that writes JSON artifacts to
+//!   `target/bench/*.json`.
+//! - [`pool`] — a scoped self-scheduling thread pool: idle workers claim
+//!   the next unstarted job, so a vector of independent closures spreads
+//!   across cores with results returned in submission order.
+//!
+//! Everything here is deterministic for a fixed seed: property tests
+//! replay exactly, and the pool never changes *what* is computed, only
+//! *when* — parallel users (e.g. `cmpsim_core::experiment::
+//! run_grid_parallel`) stay bit-identical to their serial counterparts.
+
+pub mod bench;
+pub mod gen;
+pub mod pool;
+pub mod prop;
+mod rng;
+
+pub use gen::Gen;
+pub use rng::Rng;

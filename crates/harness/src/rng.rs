@@ -1,0 +1,122 @@
+//! Deterministic xorshift64* generator for the harness.
+//!
+//! Same algorithm and constants as `cmpsim_trace::Rng` (the harness cannot
+//! depend on the trace crate — the trace crate's tests depend on the
+//! harness). Keeping the two in lockstep means a property-test seed and a
+//! simulator seed draw from the same family of streams.
+
+/// Deterministic xorshift64* generator.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_harness::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from `seed` (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 scramble so close seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng { state: if z == 0 { 0x4d59_5df4_d0f3_3173 } else { z } }
+    }
+
+    /// Derives an independent stream for a sub-component.
+    pub fn fork(&mut self, tag: u64) -> Rng {
+        Rng::new(self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+/// Stateless FNV-1a hash of a byte string, used to give every property a
+/// distinct deterministic seed stream derived from its name.
+pub(crate) fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = Rng::new(11);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn name_hash_spreads() {
+        assert_ne!(hash_str("roundtrip"), hash_str("roundtrap"));
+        assert_ne!(hash_str("a"), hash_str("b"));
+    }
+}

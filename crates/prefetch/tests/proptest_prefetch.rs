@@ -1,18 +1,20 @@
-//! Property tests for the stride prefetcher.
+//! Property tests for the stride prefetcher (cmpsim-harness port —
+//! same invariants as the proptest suite).
 
 use cmpsim_cache::BlockAddr;
+use cmpsim_harness::{gen, prop::check, prop_assert, prop_assert_eq};
 use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
-use proptest::prelude::*;
 
-proptest! {
-    /// Bursts never exceed the requested degree or the configured
-    /// ceiling, and all burst addresses lie on the detected stride.
-    #[test]
-    fn bursts_respect_degree_and_stride(
-        start in 0u64..1_000_000,
-        stride in prop::sample::select(vec![1i64, -1, 2, 3, -7, 12]),
-        degree in 0u8..40,
-    ) {
+/// Bursts never exceed the requested degree or the configured
+/// ceiling, and all burst addresses lie on the detected stride.
+#[test]
+fn bursts_respect_degree_and_stride() {
+    let cases = gen::triple(
+        gen::u64s(0..1_000_000),
+        gen::select(vec![1i64, -1, 2, 3, -7, 12]),
+        gen::u8s(0..40),
+    );
+    check("bursts_respect_degree_and_stride", &cases, |&(start, stride, degree)| {
         let mut pf = StridePrefetcher::new(PrefetcherConfig::l1());
         let mut burst = Vec::new();
         for k in 0..4 {
@@ -25,28 +27,31 @@ proptest! {
             let expect = last_miss.wrapping_add(((i as i64 + 1) * stride) as u64);
             prop_assert_eq!(addr.0, expect, "burst address off the stride");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The throttle counter stays within [0, max] under any feedback
-    /// sequence.
-    #[test]
-    fn throttle_stays_in_range(
-        max in 1u8..30,
-        events in prop::collection::vec(any::<bool>(), 0..500),
-    ) {
-        let mut t = PrefetchThrottle::new(max);
-        for good in events {
+/// The throttle counter stays within [0, max] under any feedback
+/// sequence.
+#[test]
+fn throttle_stays_in_range() {
+    let cases = gen::pair(gen::u8s(1..30), gen::vec_of(gen::bools(), 0..500));
+    check("throttle_stays_in_range", &cases, |(max, events)| {
+        let mut t = PrefetchThrottle::new(*max);
+        for &good in events {
             if good { t.record_useful() } else { t.record_bad() }
-            prop_assert!(t.degree() <= max);
+            prop_assert!(t.degree() <= *max);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Random (non-strided) miss sequences never allocate streams, no
-    /// matter how long they run.
-    #[test]
-    fn noise_never_confirms(
-        seeds in prop::collection::vec(0u64..1_000_000_000, 20..150),
-    ) {
+/// Random (non-strided) miss sequences never allocate streams, no
+/// matter how long they run.
+#[test]
+fn noise_never_confirms() {
+    let seeds = gen::vec_of(gen::u64s(0..1_000_000_000), 20..150);
+    check("noise_never_confirms", &seeds, |seeds| {
         // Force distinct, far-apart addresses (beyond max_stride).
         let mut pf = StridePrefetcher::new(PrefetcherConfig::l2());
         let mut prev = 0u64;
@@ -57,5 +62,6 @@ proptest! {
             prop_assert!(burst.is_empty(), "noise at {addr} produced prefetches");
         }
         prop_assert_eq!(pf.stats().streams_allocated, 0);
-    }
+        Ok(())
+    });
 }

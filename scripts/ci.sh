@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + test the whole workspace fully offline, then verify
+# no crate manifest has reintroduced a registry dependency.
+#
+# The workspace is hermetic by construction — every dependency is a
+# path dependency on a sibling crate, and the test/bench harness lives
+# in crates/harness — so `--offline` must always succeed. Run from
+# anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: offline build =="
+cargo build --release --offline
+
+echo "== tier-1: offline tests (whole workspace) =="
+cargo test -q --offline --workspace
+
+echo "== hermeticity gate: no registry dependencies =="
+# A registry dependency in a manifest is one whose spec carries a
+# `version` requirement (string or inline-table form) instead of being a
+# pure `path`/`workspace = true` reference. The workspace-level versions
+# of the cmpsim-* crates live in [workspace.dependencies] with `path`
+# keys; anything else is a regression.
+violations=$(
+    find . -name Cargo.toml -not -path './target/*' -print0 \
+        | xargs -0 awk '
+            /^\[/ { in_deps = ($0 ~ /dependencies/) }
+            in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ \
+                && !/path[[:space:]]*=/ && !/workspace[[:space:]]*=/ {
+                print FILENAME ":" FNR ": " $0
+            }
+        '
+)
+if [ -n "$violations" ]; then
+    echo "registry dependencies found in Cargo.toml manifests:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+# Belt and braces: the resolved dependency graph must contain only
+# workspace crates (all paths under this repo, no registry sources).
+if cargo tree --offline --workspace --prefix none 2>/dev/null \
+        | grep -vE '^\s*$' | grep -v '(/' | grep -q .; then
+    echo "cargo tree reports crates outside the workspace:" >&2
+    cargo tree --offline --workspace --prefix none | grep -v '(/' >&2
+    exit 1
+fi
+
+echo "CI OK: offline build + tests passed, dependency graph is workspace-only"

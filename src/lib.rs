@@ -44,7 +44,10 @@ pub use cmpsim_prefetch as prefetch;
 pub use cmpsim_trace as trace;
 
 pub use cmpsim_core::{
-    experiment::{across_seeds, run_variant, SimLength, VariantGrid},
+    experiment::{
+        across_seeds, run_grid_parallel, run_grid_serial, run_variant, GridCell, SimLength,
+        VariantGrid,
+    },
     metrics, report, PrefetchMode, RunResult, SimStats, System, SystemConfig, Variant,
 };
 pub use cmpsim_link::LinkBandwidth;

@@ -1,0 +1,74 @@
+//! Determinism guarantees for the experiment grid: the same seed must
+//! produce byte-identical results run-to-run, and the parallel grid
+//! driver must be indistinguishable from the serial one at any thread
+//! count (the contract documented on `run_grid_parallel`).
+
+use cmpsim::{
+    all_workloads, run_grid_parallel, run_grid_serial, SimLength, SystemConfig, Variant,
+};
+
+/// The paper's 8×4 sweep: every workload under the four headline
+/// configurations.
+const VARIANTS: [Variant; 4] = [
+    Variant::Base,
+    Variant::BothCompression,
+    Variant::Prefetch,
+    Variant::PrefetchCompression,
+];
+
+fn short() -> SimLength {
+    SimLength { warmup: 5_000, measure: 20_000 }
+}
+
+#[test]
+fn serial_grid_is_repeatable() {
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let a = run_grid_serial(&specs, &base, &VARIANTS, short());
+    let b = run_grid_serial(&specs, &base, &VARIANTS, short());
+    assert_eq!(a.len(), specs.len() * VARIANTS.len());
+    // RunResult derives PartialEq over every counter and every f64, so
+    // this is exact equality, not tolerance-based comparison.
+    assert_eq!(a, b, "two serial runs with the same seed diverged");
+}
+
+#[test]
+fn parallel_grid_matches_serial_at_every_thread_count() {
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let serial = run_grid_serial(&specs, &base, &VARIANTS, short());
+    for threads in [1usize, 2, 8] {
+        let par = run_grid_parallel(&specs, &base, &VARIANTS, short(), threads);
+        assert_eq!(serial, par, "parallel grid diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn grid_cells_are_ordered_row_major() {
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let cells = run_grid_parallel(&specs, &base, &VARIANTS, short(), 8);
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.workload, specs[i / VARIANTS.len()].name);
+        assert_eq!(cell.variant, VARIANTS[i % VARIANTS.len()]);
+        assert_eq!(cell.seed, base.seed);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_grids() {
+    let specs = vec![cmpsim::workload("zeus").unwrap()];
+    let a = run_grid_serial(
+        &specs,
+        &SystemConfig::paper_default(4).with_seed(11),
+        &VARIANTS,
+        short(),
+    );
+    let b = run_grid_serial(
+        &specs,
+        &SystemConfig::paper_default(4).with_seed(23),
+        &VARIANTS,
+        short(),
+    );
+    assert_ne!(a, b, "seed is not reaching the simulation");
+}
