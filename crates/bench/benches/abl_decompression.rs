@@ -21,8 +21,8 @@ fn main() {
             let spec = workload(name).expect("known workload");
             let mut base = SystemConfig::paper_default(8).with_seed(SEED);
             base.decompression_latency = penalty;
-            let b = run_variant(&spec, &base, Variant::Base, len);
-            let c = run_variant(&spec, &base, Variant::BothCompression, len);
+            let b = run_variant(&spec, &base, Variant::Base, len).expect("simulation failed");
+            let c = run_variant(&spec, &base, Variant::BothCompression, len).expect("simulation failed");
             cells.push(pct((b.runtime() as f64 / c.runtime() as f64 - 1.0) * 100.0));
             lat.push(format!("{:.1}", c.stats.avg_l2_hit_latency()));
         }

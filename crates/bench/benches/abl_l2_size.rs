@@ -20,7 +20,7 @@ fn main() {
     ] {
         let mut base = SystemConfig::paper_default(8).with_seed(SEED);
         base.l2_bytes = bytes;
-        let r = run_variant(&spec, &base, variant, len);
+        let r = run_variant(&spec, &base, variant, len).expect("simulation failed");
         t.row(&[
             label.into(),
             format!("{:.2}", r.stats.l2.mpki(r.stats.instructions)),

@@ -36,19 +36,19 @@ fn main() {
 
     let mut r = Runner::new("abl_parallel_grid", 1, 3);
 
-    let reference = run_grid_serial(&specs, &base, &variants, len);
+    let reference = run_grid_serial(&specs, &base, &variants, len).unwrap();
     assert_eq!(reference.len(), specs.len() * variants.len());
 
     let serial_ns = r
-        .bench("grid/serial", || run_grid_serial(&specs, &base, &variants, len))
+        .bench("grid/serial", || run_grid_serial(&specs, &base, &variants, len).unwrap())
         .median_ns;
 
     for threads in [1usize, 2, 8] {
-        let cells = run_grid_parallel(&specs, &base, &variants, len, threads);
+        let cells = run_grid_parallel(&specs, &base, &variants, len, threads).unwrap();
         assert_eq!(reference, cells, "parallel grid diverged at {threads} threads");
         let par_ns = r
             .bench(&format!("grid/parallel_{threads}t"), || {
-                run_grid_parallel(&specs, &base, &variants, len, threads)
+                run_grid_parallel(&specs, &base, &variants, len, threads).unwrap()
             })
             .median_ns;
         r.metric(&format!("grid_speedup_{threads}t"), serial_ns as f64 / par_ns as f64);

@@ -16,8 +16,8 @@ fn main() {
             let spec = workload(name).expect("known workload");
             let mut base = SystemConfig::paper_default(8).with_seed(SEED);
             base.l2_prefetch_degree = degree;
-            let b = run_variant(&spec, &base, Variant::Base, len);
-            let p = run_variant(&spec, &base, Variant::Prefetch, len);
+            let b = run_variant(&spec, &base, Variant::Base, len).expect("simulation failed");
+            let p = run_variant(&spec, &base, Variant::Prefetch, len).expect("simulation failed");
             cells.push(pct((b.runtime() as f64 / p.runtime() as f64 - 1.0) * 100.0));
         }
         t.row(&cells);

@@ -25,7 +25,7 @@ fn main() {
                 Variant::PrefetchCompression,
             ],
             len,
-        );
+        ).expect("simulation failed");
         t.row(&[
             cores.to_string(),
             pct(grid.speedup_pct(Variant::Prefetch)),

@@ -23,8 +23,8 @@ fn main() {
         ("mgrid", "small"),
     ];
     for spec in all_workloads() {
-        let b = run_variant(&spec, &base, Variant::Base, len);
-        let c = run_variant(&spec, &base, Variant::CacheCompression, len);
+        let b = run_variant(&spec, &base, Variant::Base, len).expect("simulation failed");
+        let c = run_variant(&spec, &base, Variant::CacheCompression, len).expect("simulation failed");
         let mb = b.stats.l2.mpki(b.stats.instructions);
         let mc = c.stats.l2.mpki(c.stats.instructions);
         let red = if mb > 0.0 { (1.0 - mc / mb) * 100.0 } else { 0.0 };

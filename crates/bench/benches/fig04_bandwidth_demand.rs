@@ -24,7 +24,7 @@ fn main() {
             Variant::BothCompression,
         ]
         .iter()
-        .map(|&v| run_variant(&spec, &base, v, len).bandwidth_gbps())
+        .map(|&v| run_variant(&spec, &base, v, len).expect("simulation failed").bandwidth_gbps())
         .collect();
         t.row(&[
             spec.name.into(),

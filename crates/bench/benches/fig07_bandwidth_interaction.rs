@@ -15,9 +15,9 @@ fn main() {
     let len = sim_length();
     let mut t = Table::new(&["bench", "base", "pf", "adaptive-pf", "pf+compr", "adaptive+compr"]);
     for spec in all_workloads() {
-        let b = run_variant(&spec, &base, Variant::Base, len).bandwidth_gbps();
+        let b = run_variant(&spec, &base, Variant::Base, len).expect("simulation failed").bandwidth_gbps();
         let norm = |v: Variant| {
-            let g = run_variant(&spec, &base, v, len).bandwidth_gbps();
+            let g = run_variant(&spec, &base, v, len).expect("simulation failed").bandwidth_gbps();
             format!("{:.2}", g / b.max(1e-9))
         };
         t.row(&[

@@ -23,10 +23,10 @@ fn main() {
         "pf-avoided",
     ]);
     for spec in all_workloads() {
-        let b = run_variant(&spec, &base, Variant::Base, len);
-        let c = run_variant(&spec, &base, Variant::BothCompression, len);
-        let p = run_variant(&spec, &base, Variant::Prefetch, len);
-        let both = run_variant(&spec, &base, Variant::PrefetchCompression, len);
+        let b = run_variant(&spec, &base, Variant::Base, len).expect("simulation failed");
+        let c = run_variant(&spec, &base, Variant::BothCompression, len).expect("simulation failed");
+        let p = run_variant(&spec, &base, Variant::Prefetch, len).expect("simulation failed");
+        let both = run_variant(&spec, &base, Variant::PrefetchCompression, len).expect("simulation failed");
         let cls = MissClassification::from_runs(&b, &c, &p, &both);
         let f = |x: f64| format!("{:.1}%", x * 100.0);
         t.row(&[

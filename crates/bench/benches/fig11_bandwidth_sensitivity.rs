@@ -28,7 +28,7 @@ fn main() {
                     Variant::PrefetchCompression,
                 ],
                 len,
-            );
+            ).expect("simulation failed");
             cells.push(pct(grid.pf_compr_interaction() * 100.0));
         }
         t.row(&cells);

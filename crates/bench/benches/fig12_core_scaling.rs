@@ -27,7 +27,7 @@ fn main() {
                     Variant::AdaptivePrefetchCompression,
                 ],
                 len,
-            );
+            ).expect("simulation failed");
             t.row(&[
                 cores.to_string(),
                 pct(grid.speedup_pct(Variant::Prefetch)),

@@ -56,7 +56,7 @@ fn main() {
         .bench_with("sim/zeus_8core_100k_instr", 1, 10, || {
             let cfg = Variant::PrefetchCompression.apply(SystemConfig::paper_default(8));
             let mut sys = System::new(cfg, &spec);
-            sys.run(20_000, 100_000).runtime()
+            sys.run(20_000, 100_000).expect("simulation failed").runtime()
         })
         .median_ns;
     // 8 cores × 100k measured instructions per iteration.

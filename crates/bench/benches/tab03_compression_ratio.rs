@@ -12,7 +12,7 @@ fn main() {
     let len = sim_length();
     let mut t = Table::new(&["bench", "ratio", "ratio (paper)"]);
     for spec in all_workloads() {
-        let r = run_variant(&spec, &base, Variant::CacheCompression, len);
+        let r = run_variant(&spec, &base, Variant::CacheCompression, len).expect("simulation failed");
         t.row(&[
             spec.name.into(),
             ratio(r.stats.compression_ratio()),

@@ -18,7 +18,7 @@ fn main() {
     let mut t = Table::new(&headers);
     let mut p = Table::new(&headers);
     for spec in all_workloads() {
-        let r = run_variant(&spec, &base, Variant::Prefetch, len);
+        let r = run_variant(&spec, &base, Variant::Prefetch, len).expect("simulation failed");
         let i = r.stats.instructions;
         let row =
             |l: &LevelStats| (l.prefetch_rate(i), l.coverage_pct(), l.accuracy_pct());

@@ -7,14 +7,32 @@ use cmpsim_core::experiment::VariantGrid;
 use cmpsim_core::report::{pct, Table};
 use cmpsim_core::{SystemConfig, Variant};
 
-/// Extracts the five Table 5 rows for one workload's grid.
+/// Extracts the five Table 5 rows for one workload's grid. A variant
+/// missing from the grid (a cell lost to a `CellError` in a resilient
+/// sweep) yields `NaN` for the rows that need it, rendered as `-` by
+/// [`pct`], instead of aborting the whole table.
 pub fn table5_row(grid: &VariantGrid) -> [f64; 5] {
+    let speedup_pct = |v: Variant| -> f64 {
+        match (grid.try_get(Variant::Base), grid.try_get(v)) {
+            (Some(base), Some(run)) => cmpsim_core::metrics::speedup_pct(base, run),
+            _ => f64::NAN,
+        }
+    };
+    let interaction = match (
+        grid.try_get(Variant::Base),
+        grid.try_get(Variant::Prefetch),
+        grid.try_get(Variant::BothCompression),
+        grid.try_get(Variant::PrefetchCompression),
+    ) {
+        (Some(_), Some(_), Some(_), Some(_)) => grid.pf_compr_interaction() * 100.0,
+        _ => f64::NAN,
+    };
     [
-        grid.speedup_pct(Variant::Prefetch),
-        grid.speedup_pct(Variant::BothCompression),
-        grid.speedup_pct(Variant::PrefetchCompression),
-        grid.speedup_pct(Variant::AdaptivePrefetchCompression),
-        grid.pf_compr_interaction() * 100.0,
+        speedup_pct(Variant::Prefetch),
+        speedup_pct(Variant::BothCompression),
+        speedup_pct(Variant::PrefetchCompression),
+        speedup_pct(Variant::AdaptivePrefetchCompression),
+        interaction,
     ]
 }
 

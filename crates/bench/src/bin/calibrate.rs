@@ -34,11 +34,11 @@ fn main() {
                 let cfg =
                     Variant::Base.apply(base.clone()).with_link(LinkBandwidth::Infinite);
                 let mut sys = System::new(cfg, spec);
-                let r = sys.run(len.warmup, len.measure);
+                let r = sys.run(len.warmup, len.measure).expect("simulation failed");
 
                 let ccfg = Variant::CacheCompression.apply(base.clone());
                 let mut csys = System::new(ccfg, spec);
-                let cr = csys.run(len.warmup, len.measure);
+                let cr = csys.run(len.warmup, len.measure).expect("simulation failed");
                 (r, cr)
             }
         })

@@ -60,7 +60,8 @@ pub fn parallel_grids_for(
     variants: &[Variant],
     len: SimLength,
 ) -> Vec<(WorkloadSpec, VariantGrid)> {
-    let cells = run_grid_parallel(&specs, base, variants, len, default_threads());
+    let cells = run_grid_parallel(&specs, base, variants, len, default_threads())
+        .expect("simulation failed");
     specs
         .into_iter()
         .zip(cells.chunks(variants.len()))

@@ -426,6 +426,59 @@ impl<M: Clone + Default> VscCache<M> {
         (resident_segments as f64 / used as f64).min(2.0)
     }
 
+    /// Checks the structural invariants of the segment accounting, for
+    /// the simulator's opt-in invariant checker (`CMPSIM_CHECK=1`):
+    ///
+    /// - each set's resident lines occupy at most `segments_per_set`
+    ///   segments,
+    /// - every data-holding tag is allocated and sized 1..=8 segments,
+    /// - every dataless tag (victim tag or free) charges 0 segments and
+    ///   carries no prefetch bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the first offending set.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (si, set) in self.sets.iter().enumerate() {
+            let used = Self::used_segments(set);
+            if used > self.cfg.segments_per_set {
+                return Err(format!(
+                    "set {si}: {used} segments in use exceed capacity {}",
+                    self.cfg.segments_per_set
+                ));
+            }
+            for (ti, t) in set.iter().enumerate() {
+                if t.has_data {
+                    if !t.allocated {
+                        return Err(format!(
+                            "set {si} tag {ti}: data resident on an unallocated tag"
+                        ));
+                    }
+                    if !(1..=MAX_SEGMENTS).contains(&t.segments) {
+                        return Err(format!(
+                            "set {si} tag {ti} (addr {:#x}): stored size {} segments \
+                             out of 1..={MAX_SEGMENTS}",
+                            t.addr.0, t.segments
+                        ));
+                    }
+                } else {
+                    if t.segments != 0 {
+                        return Err(format!(
+                            "set {si} tag {ti}: dataless tag charges {} segments",
+                            t.segments
+                        ));
+                    }
+                    if t.prefetch {
+                        return Err(format!(
+                            "set {si} tag {ti}: dataless tag carries a prefetch bit"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Calls `f` for every data-resident line.
     pub fn for_each_valid(&self, mut f: impl FnMut(BlockAddr, &M, u8)) {
         for set in &self.sets {
@@ -582,6 +635,35 @@ mod tests {
         }
         // 8 lines × 64 B resident in 32 segments × 8 B = 256 B physical.
         assert!((c.effective_capacity_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariants_hold_under_stress() {
+        // Adversarial mix of fills, resizes and invalidations; the
+        // accounting invariants must hold after every operation.
+        let mut c = tiny();
+        assert_eq!(c.check_invariants(), Ok(()));
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for step in 0..2000u64 {
+            // xorshift64* — deterministic operation mix.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let addr = BlockAddr(x % 24);
+            match x % 5 {
+                0..=2 => {
+                    let segs = (x / 7 % 8 + 1) as u8;
+                    c.fill(addr, segs, x % 2 == 0, step as u32);
+                }
+                3 => {
+                    c.invalidate(addr);
+                }
+                _ => {
+                    c.lookup(addr);
+                }
+            }
+            assert_eq!(c.check_invariants(), Ok(()), "violated at step {step}");
+        }
     }
 
     #[test]

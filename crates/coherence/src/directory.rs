@@ -95,11 +95,38 @@ impl DirEntry {
         !self.sharers.is_empty()
     }
 
-    fn debug_check(&self) {
+    /// Checks the MSI structural invariants of this entry: an owner must
+    /// be a sharer, and a `Modified` copy must be exclusive.
+    ///
+    /// Always available (unlike the `debug_assert`-based internal check),
+    /// so the simulator's opt-in invariant checker (`CMPSIM_CHECK=1`) can
+    /// promote violations to typed errors in release builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn check(&self) -> Result<(), String> {
         if let Some(o) = self.owner {
-            debug_assert!(self.sharers.contains(o), "owner must be a sharer");
-            debug_assert_eq!(self.sharers.len(), 1, "Modified copy must be exclusive");
+            if !self.sharers.contains(o) {
+                return Err(format!(
+                    "owner core {} is not in the sharer set {:?}",
+                    o.index(),
+                    self.sharers
+                ));
+            }
+            if self.sharers.len() != 1 {
+                return Err(format!(
+                    "Modified copy at core {} must be exclusive, but {} sharers exist",
+                    o.index(),
+                    self.sharers.len()
+                ));
+            }
         }
+        Ok(())
+    }
+
+    fn debug_check(&self) {
+        debug_assert_eq!(self.check(), Ok(()));
     }
 
     /// Applies `req` from `core` and returns the probes the L2 must issue,
@@ -284,6 +311,21 @@ mod tests {
         let acts = d.recall_all();
         assert_eq!(acts, vec![DirAction::RecallInvalidate(CoreId(5))]);
         assert!(d.is_dirty());
+    }
+
+    #[test]
+    fn check_holds_through_transitions() {
+        let mut d = DirEntry::new();
+        assert_eq!(d.check(), Ok(()));
+        d.handle(CoreId(0), L1Request::GetS);
+        d.handle(CoreId(1), L1Request::GetS);
+        assert_eq!(d.check(), Ok(()));
+        d.handle(CoreId(2), L1Request::GetX);
+        assert_eq!(d.check(), Ok(()));
+        d.handle(CoreId(2), L1Request::PutM);
+        assert_eq!(d.check(), Ok(()));
+        d.recall_all();
+        assert_eq!(d.check(), Ok(()));
     }
 
     #[test]

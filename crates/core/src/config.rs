@@ -82,6 +82,27 @@ pub struct SystemConfig {
     /// RNG seed for the workload generators (vary for confidence
     /// intervals, per the paper's space-variability methodology).
     pub seed: u64,
+    /// Forward-progress watchdog: if no core retires an instruction for
+    /// this many consecutive cycles, `System::run` aborts with
+    /// [`SimError::Livelock`](crate::error::SimError::Livelock) instead
+    /// of spinning forever. `0` disables the watchdog. The default
+    /// (2 M cycles = 400 µs of simulated time at 5 GHz) is orders of
+    /// magnitude beyond any legitimate quiet window (a fully backlogged
+    /// link plus a DRAM access is thousands of cycles).
+    pub livelock_cycle_budget: u64,
+    /// Run sampled structural invariant checks (VSC segment accounting,
+    /// directory owner/sharer consistency, link flit conservation) during
+    /// simulation, turning corruption into
+    /// [`SimError::InvariantViolation`](crate::error::SimError::InvariantViolation)
+    /// even in release builds. Defaults from the `CMPSIM_CHECK=1`
+    /// environment variable; costs a few percent of runtime when on.
+    pub check_invariants: bool,
+}
+
+/// Whether `CMPSIM_CHECK=1` is set in the environment (the opt-in switch
+/// for [`SystemConfig::check_invariants`]).
+pub fn check_invariants_from_env() -> bool {
+    std::env::var("CMPSIM_CHECK").map(|v| v == "1").unwrap_or(false)
 }
 
 impl SystemConfig {
@@ -111,6 +132,8 @@ impl SystemConfig {
             prefetch: PrefetchMode::Off,
             l2_prefetch_degree: 25,
             seed: 1,
+            livelock_cycle_budget: 2_000_000,
+            check_invariants: check_invariants_from_env(),
         }
     }
 
@@ -136,6 +159,20 @@ impl SystemConfig {
     /// Returns a copy with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given forward-progress watchdog budget in
+    /// cycles (`0` disables the watchdog).
+    pub fn with_livelock_budget(mut self, cycles: u64) -> Self {
+        self.livelock_cycle_budget = cycles;
+        self
+    }
+
+    /// Returns a copy with sampled invariant checking forced on or off,
+    /// overriding the `CMPSIM_CHECK` environment default.
+    pub fn with_invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
         self
     }
 

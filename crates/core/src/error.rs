@@ -1,0 +1,135 @@
+//! Typed simulation failures.
+//!
+//! A future change that deadlocks the coherence protocol or corrupts the
+//! VSC accounting must fail *loudly and partially*: the run that hit it
+//! reports a [`SimError`] with a diagnostic dump, the surrounding sweep
+//! keeps going, and the per-cell failure surfaces as a [`CellError`] in
+//! `run_grid_resilient`'s output instead of poisoning the whole grid.
+
+use crate::config::Variant;
+
+/// A simulation aborted by a runtime safety net instead of completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The forward-progress watchdog fired: no core retired an
+    /// instruction for `window` consecutive cycles (the configured
+    /// `livelock_cycle_budget`), or the event queue drained with
+    /// unfinished cores.
+    Livelock {
+        /// Cycle at which the watchdog gave up.
+        cycle: u64,
+        /// Cycles observed without any instruction retiring.
+        window: u64,
+        /// Human-readable dump: per-core stall states and outstanding
+        /// MSHRs, in-flight L2 fetches with their waiters and directory
+        /// state, link lane backlogs, and prefetch queue depths.
+        diagnostic: String,
+    },
+    /// The opt-in invariant checker (`CMPSIM_CHECK=1`) found corrupted
+    /// simulator state.
+    InvariantViolation {
+        /// Cycle at which the violation was detected.
+        cycle: u64,
+        /// Which structure failed (e.g. `"l2"`, `"link"`, `"core 3"`).
+        subsystem: &'static str,
+        /// Description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Livelock { cycle, window, diagnostic } => {
+                write!(
+                    f,
+                    "livelock at cycle {cycle}: no instruction retired for {window} cycles\n\
+                     {diagnostic}"
+                )
+            }
+            SimError::InvariantViolation { cycle, subsystem, detail } => {
+                write!(f, "invariant violation in {subsystem} at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why one `(workload, variant)` cell of a resilient grid sweep has no
+/// result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The cell's simulation panicked (every permitted attempt).
+    Panicked {
+        /// Workload of the failed cell.
+        workload: &'static str,
+        /// Variant of the failed cell.
+        variant: Variant,
+        /// Rendered panic payload of the last attempt.
+        payload: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// The cell exceeded the watchdog deadline and was abandoned.
+    TimedOut {
+        /// Workload of the failed cell.
+        workload: &'static str,
+        /// Variant of the failed cell.
+        variant: Variant,
+        /// Milliseconds the cell had been running when abandoned.
+        elapsed_ms: u64,
+    },
+    /// The simulation failed with a typed error (livelock, invariant
+    /// violation).
+    Sim {
+        /// Workload of the failed cell.
+        workload: &'static str,
+        /// Variant of the failed cell.
+        variant: Variant,
+        /// The underlying simulation error.
+        error: SimError,
+    },
+}
+
+impl CellError {
+    /// The failed cell's workload name.
+    pub fn workload(&self) -> &'static str {
+        match self {
+            CellError::Panicked { workload, .. }
+            | CellError::TimedOut { workload, .. }
+            | CellError::Sim { workload, .. } => workload,
+        }
+    }
+
+    /// The failed cell's variant.
+    pub fn variant(&self) -> Variant {
+        match self {
+            CellError::Panicked { variant, .. }
+            | CellError::TimedOut { variant, .. }
+            | CellError::Sim { variant, .. } => *variant,
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked { workload, variant, payload, attempts } => write!(
+                f,
+                "cell ({workload}, {}) panicked after {attempts} attempt(s): {payload}",
+                variant.label()
+            ),
+            CellError::TimedOut { workload, variant, elapsed_ms } => write!(
+                f,
+                "cell ({workload}, {}) timed out after {elapsed_ms} ms",
+                variant.label()
+            ),
+            CellError::Sim { workload, variant, error } => {
+                write!(f, "cell ({workload}, {}) failed: {error}", variant.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellError {}

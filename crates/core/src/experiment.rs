@@ -1,13 +1,19 @@
 //! Experiment drivers: run the paper's configuration grid over a
-//! workload, with multiple seeds for confidence intervals, serially or
-//! fanned out across cores.
+//! workload, with multiple seeds for confidence intervals, serially,
+//! fanned out across cores, or supervised with per-cell fault isolation
+//! and checkpoint/resume ([`run_grid_resilient`]).
 
 use crate::config::{SystemConfig, Variant};
+use crate::error::{CellError, SimError};
+use crate::journal::{self, Journal, JournalEntry};
 use crate::metrics;
 use crate::stats::RunResult;
 use crate::system::System;
+use cmpsim_harness::{run_supervised, JobOutcome, Supervisor};
 use cmpsim_trace::WorkloadSpec;
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Simulation length preset: instructions per core for warmup and
 /// measurement.
@@ -35,12 +41,17 @@ impl SimLength {
 }
 
 /// Runs one `(workload, variant)` cell and returns the measured result.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from [`System::run`] (livelock watchdog,
+/// invariant checker).
 pub fn run_variant(
     spec: &WorkloadSpec,
     base: &SystemConfig,
     variant: Variant,
     len: SimLength,
-) -> RunResult {
+) -> Result<RunResult, SimError> {
     let cfg = variant.apply(base.clone());
     let mut sys = System::new(cfg, spec);
     sys.run(len.warmup, len.measure)
@@ -60,26 +71,38 @@ impl VariantGrid {
     }
 
     /// Runs every variant in `variants` for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] any cell hits.
     pub fn run(
         spec: &WorkloadSpec,
         base: &SystemConfig,
         variants: &[Variant],
         len: SimLength,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         let mut results = HashMap::new();
         for &v in variants {
-            results.insert(v, run_variant(spec, base, v, len));
+            results.insert(v, run_variant(spec, base, v, len)?);
         }
-        VariantGrid { results }
+        Ok(VariantGrid { results })
+    }
+
+    /// The result for a variant, if it was part of the grid. Use this in
+    /// report/bench code that tolerates partial grids (e.g. cells lost to
+    /// a [`CellError`] in a resilient sweep).
+    pub fn try_get(&self, v: Variant) -> Option<&RunResult> {
+        self.results.get(&v)
     }
 
     /// The result for a variant.
     ///
     /// # Panics
     ///
-    /// Panics if the variant was not part of the grid.
+    /// Panics if the variant was not part of the grid; [`try_get`]
+    /// (Self::try_get) is the non-panicking form.
     pub fn get(&self, v: Variant) -> &RunResult {
-        self.results.get(&v).unwrap_or_else(|| panic!("variant {v} not in grid"))
+        self.try_get(v).unwrap_or_else(|| panic!("variant {v} not in grid"))
     }
 
     /// `Speedup(v)` relative to the grid's base run.
@@ -121,23 +144,29 @@ pub struct GridCell {
 ///
 /// This is the paper's 8×4 evaluation sweep when called with
 /// `all_workloads()` and the four headline variants.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any cell hits; use
+/// [`run_grid_resilient`] to keep the rest of the sweep instead.
 pub fn run_grid_serial(
     specs: &[WorkloadSpec],
     base: &SystemConfig,
     variants: &[Variant],
     len: SimLength,
-) -> Vec<GridCell> {
-    specs
-        .iter()
-        .flat_map(|spec| {
-            variants.iter().map(move |&variant| GridCell {
+) -> Result<Vec<GridCell>, SimError> {
+    let mut cells = Vec::with_capacity(specs.len() * variants.len());
+    for spec in specs {
+        for &variant in variants {
+            cells.push(GridCell {
                 workload: spec.name,
                 variant,
                 seed: base.seed,
-                result: run_variant(spec, base, variant, len),
-            })
-        })
-        .collect()
+                result: run_variant(spec, base, variant, len)?,
+            });
+        }
+    }
+    Ok(cells)
 }
 
 /// Runs the same grid as [`run_grid_serial`] with cells fanned out over
@@ -153,27 +182,196 @@ pub fn run_grid_serial(
 /// `run_grid_parallel(s, b, v, l, n) == run_grid_serial(s, b, v, l)`
 ///
 /// `tests/determinism.rs` asserts this at 1, 2 and 8 threads.
+///
+/// # Errors
+///
+/// Propagates the first (row-major) [`SimError`] any cell hits.
 pub fn run_grid_parallel(
     specs: &[WorkloadSpec],
     base: &SystemConfig,
     variants: &[Variant],
     len: SimLength,
     threads: usize,
-) -> Vec<GridCell> {
+) -> Result<Vec<GridCell>, SimError> {
     let jobs: Vec<_> = specs
         .iter()
         .flat_map(|spec| {
             variants.iter().map(move |&variant| {
-                move || GridCell {
-                    workload: spec.name,
-                    variant,
-                    seed: base.seed,
-                    result: run_variant(spec, base, variant, len),
+                move || {
+                    run_variant(spec, base, variant, len).map(|result| GridCell {
+                        workload: spec.name,
+                        variant,
+                        seed: base.seed,
+                        result,
+                    })
                 }
             })
         })
         .collect();
-    cmpsim_harness::pool::run_indexed(threads, jobs)
+    cmpsim_harness::pool::run_indexed(threads, jobs).into_iter().collect()
+}
+
+/// Policy for a [`run_grid_resilient`] sweep: how cells are supervised
+/// and where (if anywhere) completed cells are journaled.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Worker count, per-cell deadline (`CMPSIM_CELL_DEADLINE_MS`), and
+    /// retry policy.
+    pub supervisor: Supervisor,
+    /// Checkpoint journal path; `None` disables checkpointing. See
+    /// [`ResilienceOptions::default_journal_path`] for the conventional
+    /// location under `target/grid/`.
+    pub journal: Option<PathBuf>,
+}
+
+impl ResilienceOptions {
+    /// Returns a copy journaling to `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// The conventional journal location for a named sweep:
+    /// `target/grid/<sweep>.jsonl` (overridable via `CMPSIM_GRID_DIR`).
+    pub fn default_journal_path(sweep: &str) -> PathBuf {
+        journal::default_journal_dir().join(format!("{sweep}.jsonl"))
+    }
+}
+
+/// Runs the `workloads × variants` grid under full supervision: each
+/// cell executes in its own watchdogged worker, and a panicking, hanging
+/// or [`SimError`]-failing cell degrades to an `Err` in its slot while
+/// every other cell completes. Results come back in row-major order,
+/// like [`run_grid_serial`].
+///
+/// With `opts.journal` set, completed cells are appended to a checkpoint
+/// journal *as they finish*; re-invoking with the same journal (same
+/// base config and length — see [`journal::fingerprint`]) skips them and
+/// returns bit-identical results, so a sweep killed mid-run resumes
+/// where it left off. `tests/resilience.rs` asserts both properties.
+pub fn run_grid_resilient(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+    opts: &ResilienceOptions,
+) -> Vec<Result<GridCell, CellError>> {
+    run_cells_resilient(
+        specs,
+        base,
+        variants,
+        journal::fingerprint(base, len),
+        opts,
+        move |spec, base, variant| run_variant(spec, base, variant, len),
+    )
+}
+
+/// The engine under [`run_grid_resilient`], parameterized over the cell
+/// function so tests can inject faulty cells (panics, hangs, errors).
+/// `fingerprint` guards the journal against resuming under a different
+/// sweep definition.
+pub fn run_cells_resilient<F>(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    fingerprint: u64,
+    opts: &ResilienceOptions,
+    cell_fn: F,
+) -> Vec<Result<GridCell, CellError>>
+where
+    F: Fn(&WorkloadSpec, &SystemConfig, Variant) -> Result<RunResult, SimError>
+        + Send
+        + Sync
+        + 'static,
+{
+    let journal = opts
+        .journal
+        .as_ref()
+        .map(|p| Arc::new(Mutex::new(Journal::new(p, fingerprint))));
+
+    // Cells already in the journal are reused, not re-run.
+    let mut completed: HashMap<(String, Variant), RunResult> = HashMap::new();
+    if let Some(j) = &journal {
+        let entries = lock_journal(j).load_or_reset().unwrap_or_else(|e| {
+            eprintln!("cmpsim: could not read journal: {e}; starting fresh");
+            Vec::new()
+        });
+        for e in entries {
+            if e.seed == base.seed {
+                completed.insert((e.workload, e.variant), e.result);
+            }
+        }
+    }
+
+    let n = specs.len() * variants.len();
+    let mut out: Vec<Option<Result<GridCell, CellError>>> = (0..n).map(|_| None).collect();
+    let cell_fn = Arc::new(cell_fn);
+    let mut jobs = Vec::new();
+    let mut job_slots: Vec<(usize, &'static str, Variant)> = Vec::new();
+
+    let mut idx = 0usize;
+    for spec in specs {
+        for &variant in variants {
+            if let Some(result) = completed.get(&(spec.name.to_string(), variant)) {
+                out[idx] = Some(Ok(GridCell {
+                    workload: spec.name,
+                    variant,
+                    seed: base.seed,
+                    result: result.clone(),
+                }));
+            } else {
+                job_slots.push((idx, spec.name, variant));
+                let spec = spec.clone();
+                let base = base.clone();
+                let cell_fn = Arc::clone(&cell_fn);
+                let journal = journal.clone();
+                jobs.push(move || -> Result<RunResult, SimError> {
+                    let result = cell_fn(&spec, &base, variant)?;
+                    // Journal inside the job so a later kill loses only
+                    // cells that had not finished.
+                    if let Some(j) = &journal {
+                        let entry = JournalEntry {
+                            workload: spec.name.to_string(),
+                            variant,
+                            seed: base.seed,
+                            result: result.clone(),
+                        };
+                        if let Err(e) = lock_journal(j).append(&entry) {
+                            eprintln!("cmpsim: journal append failed: {e}");
+                        }
+                    }
+                    Ok(result)
+                });
+            }
+            idx += 1;
+        }
+    }
+
+    let outcomes = run_supervised(&opts.supervisor, jobs);
+    for ((slot, workload, variant), outcome) in job_slots.into_iter().zip(outcomes) {
+        out[slot] = Some(match outcome {
+            JobOutcome::Ok(Ok(result)) => {
+                Ok(GridCell { workload, variant, seed: base.seed, result })
+            }
+            JobOutcome::Ok(Err(error)) => Err(CellError::Sim { workload, variant, error }),
+            JobOutcome::Panicked { payload, attempts } => {
+                Err(CellError::Panicked { workload, variant, payload, attempts })
+            }
+            JobOutcome::TimedOut { elapsed } => Err(CellError::TimedOut {
+                workload,
+                variant,
+                elapsed_ms: elapsed.as_millis() as u64,
+            }),
+        });
+    }
+    out.into_iter().map(|o| o.expect("every cell resolved")).collect()
+}
+
+/// Locks the shared journal, surviving a poisoned mutex (a panic in a
+/// supervised job cannot be allowed to wedge checkpointing for the rest
+/// of the sweep).
+fn lock_journal(j: &Arc<Mutex<Journal>>) -> std::sync::MutexGuard<'_, Journal> {
+    j.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Mean ± 95% CI of a per-seed metric.
@@ -223,7 +421,8 @@ mod tests {
             &base,
             &[Variant::Base, Variant::BothCompression],
             SimLength { warmup: 5_000, measure: 20_000 },
-        );
+        )
+        .expect("smoke grid simulates");
         let s = grid.speedup(Variant::BothCompression);
         assert!(s > 0.5 && s < 2.0, "speedup {s} out of plausible range");
         assert_eq!(grid.speedup(Variant::Base), 1.0);
@@ -244,14 +443,29 @@ mod tests {
         let base = SystemConfig::paper_default(2);
         let variants = [Variant::Base, Variant::PrefetchCompression];
         let len = SimLength { warmup: 2_000, measure: 8_000 };
-        let serial = run_grid_serial(&specs, &base, &variants, len);
+        let serial = run_grid_serial(&specs, &base, &variants, len).unwrap();
         assert_eq!(serial.len(), 4);
         assert_eq!(serial[0].workload, "apsi");
         assert_eq!(serial[1].variant, Variant::PrefetchCompression);
         for threads in [1, 2, 8] {
-            let par = run_grid_parallel(&specs, &base, &variants, len, threads);
+            let par = run_grid_parallel(&specs, &base, &variants, len, threads).unwrap();
             assert_eq!(serial, par, "parallel grid diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn try_get_reports_missing_variants() {
+        let spec = workload("apsi").unwrap();
+        let base = SystemConfig::paper_default(1);
+        let grid = VariantGrid::run(
+            &spec,
+            &base,
+            &[Variant::Base],
+            SimLength { warmup: 1_000, measure: 5_000 },
+        )
+        .unwrap();
+        assert!(grid.try_get(Variant::Base).is_some());
+        assert!(grid.try_get(Variant::Prefetch).is_none());
     }
 
     #[test]
@@ -264,7 +478,8 @@ mod tests {
             &base,
             &[Variant::Base],
             SimLength { warmup: 1_000, measure: 5_000 },
-        );
+        )
+        .unwrap();
         grid.get(Variant::Prefetch);
     }
 }

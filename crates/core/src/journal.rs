@@ -1,0 +1,528 @@
+//! Bit-exact checkpoint journal for grid sweeps.
+//!
+//! `run_grid_resilient` appends one JSONL line per completed cell as it
+//! finishes, so a run killed mid-sweep can be re-invoked with the same
+//! journal and skip the cells that already ran. The contract is
+//! **bit-identity**: a journaled [`RunResult`] decodes to exactly the
+//! value the simulation produced — every counter is stored as its `u64`
+//! value and the one `f64` field as its IEEE-754 bit pattern — so a
+//! resumed grid compares equal (`==`) to an uninterrupted one.
+//!
+//! File layout (hand-rolled flat JSON; this workspace has no serde):
+//!
+//! ```text
+//! {"cmpsim_journal":1,"fingerprint":"1a2b3c..."}
+//! {"workload":"apsi","variant":"pf+compr","seed":11,"cycles":...,...}
+//! ...
+//! ```
+//!
+//! The fingerprint hashes the base [`SystemConfig`] and [`SimLength`] —
+//! deliberately *not* the workload or variant lists, so a journal from a
+//! partial sweep is reusable by a larger sweep over the same
+//! configuration. A journal whose fingerprint does not match is
+//! discarded (the sweep would silently mix incompatible results
+//! otherwise); a malformed cell line is skipped, which only means that
+//! cell re-runs.
+
+use crate::config::{SystemConfig, Variant};
+use crate::experiment::SimLength;
+use crate::stats::{LevelStats, RunResult, SimStats};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Journal format version (bump on any encoding change; old files are
+/// then discarded via the fingerprint line).
+const VERSION: u64 = 1;
+
+/// One completed cell read back from a journal. `workload` is owned
+/// because the file outlives any `&'static` workload table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration variant.
+    pub variant: Variant,
+    /// Seed the cell ran with.
+    pub seed: u64,
+    /// The journaled result, bit-identical to the original run.
+    pub result: RunResult,
+}
+
+/// An append-only checkpoint journal bound to one sweep fingerprint.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: u64,
+}
+
+impl Journal {
+    /// Binds a journal file to a sweep fingerprint (see [`fingerprint`]).
+    /// Nothing is touched on disk until [`load_or_reset`](Self::load_or_reset)
+    /// or [`append`](Self::append).
+    pub fn new(path: impl Into<PathBuf>, fingerprint: u64) -> Self {
+        Journal { path: path.into(), fingerprint }
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads back every decodable cell from an existing journal.
+    ///
+    /// A missing file yields an empty list. A file whose header is absent
+    /// or carries a different fingerprint is **discarded** (deleted) and
+    /// yields an empty list — resuming it under this sweep would mix
+    /// results from a different configuration. Malformed cell lines are
+    /// skipped individually.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn load_or_reset(&self) -> io::Result<Vec<JournalEntry>> {
+        let text = match fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        let header_ok = lines
+            .next()
+            .and_then(parse_flat)
+            .map(|kvs| {
+                let map: HashMap<_, _> = kvs.into_iter().collect();
+                map.get("cmpsim_journal") == Some(&JsonVal::Num(VERSION))
+                    && map.get("fingerprint")
+                        == Some(&JsonVal::Str(format!("{:016x}", self.fingerprint)))
+            })
+            .unwrap_or(false);
+        if !header_ok {
+            fs::remove_file(&self.path)?;
+            return Ok(Vec::new());
+        }
+        Ok(lines.filter_map(decode_entry).collect())
+    }
+
+    /// Appends one completed cell, creating the file (with its header)
+    /// on first use. Each call is one `write_all` of one line, so a kill
+    /// between calls loses at most the in-flight cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        if f.metadata()?.len() == 0 {
+            writeln!(
+                f,
+                "{{\"cmpsim_journal\":{VERSION},\"fingerprint\":\"{:016x}\"}}",
+                self.fingerprint
+            )?;
+        }
+        let mut line = encode_entry(entry);
+        line.push('\n');
+        f.write_all(line.as_bytes())
+    }
+}
+
+/// Hashes the sweep-defining inputs (base configuration + simulation
+/// length) into the journal fingerprint. Uses FNV-1a over the config's
+/// `Debug` rendering: any config field change — including new fields —
+/// invalidates old journals, which is exactly the safe direction.
+pub fn fingerprint(base: &SystemConfig, len: SimLength) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{base:?}|{}|{}", len.warmup, len.measure).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Default journal directory: `CMPSIM_GRID_DIR`, else
+/// `$CARGO_TARGET_DIR/grid`, else the nearest enclosing `target/`
+/// directory, else `./target/grid`.
+pub fn default_journal_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CMPSIM_GRID_DIR") {
+        return PathBuf::from(d);
+    }
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(d).join("grid");
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let cand = cur.join("target");
+        if cand.is_dir() {
+            return cand.join("grid");
+        }
+        if !cur.pop() {
+            return PathBuf::from("target/grid");
+        }
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+/// Per-level counter names, shared by the encoder and decoder so the two
+/// cannot skew (`journal_roundtrip_is_bit_exact` fills every field with a
+/// distinct value to catch an omission here).
+const LEVEL_FIELDS: [&str; 7] = [
+    "accesses",
+    "hits",
+    "demand_misses",
+    "prefetch_hits",
+    "prefetches_issued",
+    "prefetch_fills",
+    "useless_prefetch_evictions",
+];
+
+fn level_get(l: &LevelStats, field: &str) -> u64 {
+    match field {
+        "accesses" => l.accesses,
+        "hits" => l.hits,
+        "demand_misses" => l.demand_misses,
+        "prefetch_hits" => l.prefetch_hits,
+        "prefetches_issued" => l.prefetches_issued,
+        "prefetch_fills" => l.prefetch_fills,
+        "useless_prefetch_evictions" => l.useless_prefetch_evictions,
+        _ => unreachable!("unknown level field {field}"),
+    }
+}
+
+fn level_set(l: &mut LevelStats, field: &str, v: u64) {
+    match field {
+        "accesses" => l.accesses = v,
+        "hits" => l.hits = v,
+        "demand_misses" => l.demand_misses = v,
+        "prefetch_hits" => l.prefetch_hits = v,
+        "prefetches_issued" => l.prefetches_issued = v,
+        "prefetch_fills" => l.prefetch_fills = v,
+        "useless_prefetch_evictions" => l.useless_prefetch_evictions = v,
+        _ => unreachable!("unknown level field {field}"),
+    }
+}
+
+/// Every numeric field of a [`RunResult`] as flat `(dotted key, u64)`
+/// pairs; the `f64` travels as its bit pattern under a `.bits` key.
+fn numeric_fields(r: &RunResult) -> Vec<(String, u64)> {
+    let s = &r.stats;
+    let mut kv: Vec<(String, u64)> = vec![
+        ("cycles".into(), r.cycles),
+        ("clock_ghz".into(), u64::from(r.clock_ghz)),
+        ("stats.instructions".into(), s.instructions),
+    ];
+    for (name, l) in [("l1i", &s.l1i), ("l1d", &s.l1d), ("l2", &s.l2)] {
+        for f in LEVEL_FIELDS {
+            kv.push((format!("stats.{name}.{f}"), level_get(l, f)));
+        }
+    }
+    kv.extend([
+        ("stats.l2_compressed_hits".into(), s.l2_compressed_hits),
+        ("stats.l2_hit_latency_sum".into(), s.l2_hit_latency_sum),
+        ("stats.l2_hit_latency_count".into(), s.l2_hit_latency_count),
+        ("stats.l2_victim_tag_hits".into(), s.l2_victim_tag_hits),
+        ("stats.harmful_prefetch_detections".into(), s.harmful_prefetch_detections),
+        ("stats.capacity_ratio_sum.bits".into(), s.capacity_ratio_sum.to_bits()),
+        ("stats.capacity_ratio_samples".into(), s.capacity_ratio_samples),
+        ("stats.link.total_bytes".into(), s.link.total_bytes),
+        ("stats.link.data_bytes".into(), s.link.data_bytes),
+        ("stats.link.prefetch_bytes".into(), s.link.prefetch_bytes),
+        ("stats.link.messages".into(), s.link.messages),
+        ("stats.link.queue_delay_cycles".into(), s.link.queue_delay_cycles),
+        ("stats.link.busy_cycles".into(), s.link.busy_cycles),
+        ("stats.mem_reads".into(), s.mem_reads),
+        ("stats.mem_writes".into(), s.mem_writes),
+        ("stats.coherence.invalidations".into(), s.coherence.invalidations),
+        ("stats.coherence.recalls".into(), s.coherence.recalls),
+        ("stats.coherence.upgrades".into(), s.coherence.upgrades),
+        ("stats.coherence.inclusion_recalls".into(), s.coherence.inclusion_recalls),
+        ("stats.dropped_prefetches".into(), s.dropped_prefetches),
+    ]);
+    kv
+}
+
+fn encode_entry(e: &JournalEntry) -> String {
+    debug_assert!(
+        !e.workload.contains(['"', '\\']),
+        "workload names are plain identifiers"
+    );
+    let mut s = format!(
+        "{{\"workload\":\"{}\",\"variant\":\"{}\",\"seed\":{}",
+        e.workload,
+        e.variant.label(),
+        e.seed
+    );
+    for (k, v) in numeric_fields(&e.result) {
+        s.push_str(&format!(",\"{k}\":{v}"));
+    }
+    s.push('}');
+    s
+}
+
+fn decode_entry(line: &str) -> Option<JournalEntry> {
+    let map: HashMap<String, JsonVal> = parse_flat(line)?.into_iter().collect();
+    let str_of = |k: &str| match map.get(k) {
+        Some(JsonVal::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let num_of = |k: &str| match map.get(k) {
+        Some(JsonVal::Num(n)) => Some(*n),
+        _ => None,
+    };
+    let workload = str_of("workload")?;
+    let label = str_of("variant")?;
+    let variant = *Variant::all().iter().find(|v| v.label() == label)?;
+    let seed = num_of("seed")?;
+
+    let mut r = RunResult {
+        stats: SimStats::default(),
+        cycles: num_of("cycles")?,
+        clock_ghz: u32::try_from(num_of("clock_ghz")?).ok()?,
+    };
+    let s = &mut r.stats;
+    s.instructions = num_of("stats.instructions")?;
+    for (name, l) in
+        [("l1i", &mut s.l1i), ("l1d", &mut s.l1d), ("l2", &mut s.l2)]
+    {
+        for f in LEVEL_FIELDS {
+            level_set(l, f, num_of(&format!("stats.{name}.{f}"))?);
+        }
+    }
+    s.l2_compressed_hits = num_of("stats.l2_compressed_hits")?;
+    s.l2_hit_latency_sum = num_of("stats.l2_hit_latency_sum")?;
+    s.l2_hit_latency_count = num_of("stats.l2_hit_latency_count")?;
+    s.l2_victim_tag_hits = num_of("stats.l2_victim_tag_hits")?;
+    s.harmful_prefetch_detections = num_of("stats.harmful_prefetch_detections")?;
+    s.capacity_ratio_sum = f64::from_bits(num_of("stats.capacity_ratio_sum.bits")?);
+    s.capacity_ratio_samples = num_of("stats.capacity_ratio_samples")?;
+    s.link.total_bytes = num_of("stats.link.total_bytes")?;
+    s.link.data_bytes = num_of("stats.link.data_bytes")?;
+    s.link.prefetch_bytes = num_of("stats.link.prefetch_bytes")?;
+    s.link.messages = num_of("stats.link.messages")?;
+    s.link.queue_delay_cycles = num_of("stats.link.queue_delay_cycles")?;
+    s.link.busy_cycles = num_of("stats.link.busy_cycles")?;
+    s.mem_reads = num_of("stats.mem_reads")?;
+    s.mem_writes = num_of("stats.mem_writes")?;
+    s.coherence.invalidations = num_of("stats.coherence.invalidations")?;
+    s.coherence.recalls = num_of("stats.coherence.recalls")?;
+    s.coherence.upgrades = num_of("stats.coherence.upgrades")?;
+    s.coherence.inclusion_recalls = num_of("stats.coherence.inclusion_recalls")?;
+    s.dropped_prefetches = num_of("stats.dropped_prefetches")?;
+    Some(JournalEntry { workload, variant, seed, result: r })
+}
+
+// -------------------------------------------------------------- parsing
+
+/// The two value shapes this journal emits.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(u64),
+}
+
+/// Parses one flat JSON object of string/u64 values (the only shape the
+/// encoder produces: no nesting, no escapes, no floats). Returns `None`
+/// on anything else.
+fn parse_flat(line: &str) -> Option<Vec<(String, JsonVal)>> {
+    let mut out = Vec::new();
+    let bytes = line.trim().as_bytes();
+    let mut i = 0usize;
+    let eat = |i: &mut usize, b: u8| -> Option<()> {
+        if bytes.get(*i) == Some(&b) {
+            *i += 1;
+            Some(())
+        } else {
+            None
+        }
+    };
+    let string = |i: &mut usize| -> Option<String> {
+        eat(i, b'"')?;
+        let start = *i;
+        while *i < bytes.len() && bytes[*i] != b'"' {
+            if bytes[*i] == b'\\' {
+                return None; // the encoder never escapes
+            }
+            *i += 1;
+        }
+        let s = std::str::from_utf8(&bytes[start..*i]).ok()?.to_string();
+        eat(i, b'"')?;
+        Some(s)
+    };
+    let number = |i: &mut usize| -> Option<u64> {
+        let start = *i;
+        while *i < bytes.len() && bytes[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        std::str::from_utf8(&bytes[start..*i]).ok()?.parse().ok()
+    };
+
+    eat(&mut i, b'{')?;
+    if bytes.get(i) == Some(&b'}') {
+        return (i + 1 == bytes.len()).then_some(out);
+    }
+    loop {
+        let key = string(&mut i)?;
+        eat(&mut i, b':')?;
+        let val = if bytes.get(i) == Some(&b'"') {
+            JsonVal::Str(string(&mut i)?)
+        } else {
+            JsonVal::Num(number(&mut i)?)
+        };
+        out.push((key, val));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => break,
+            _ => return None,
+        }
+    }
+    (i + 1 == bytes.len()).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A result with a distinct value in every field, so a round-trip
+    /// detects any encoder/decoder omission or swap.
+    fn distinct_result() -> RunResult {
+        let mut r = RunResult { stats: SimStats::default(), cycles: 1, clock_ghz: 2 };
+        let mut next = 3u64;
+        let mut n = || {
+            next += 1;
+            next
+        };
+        let s = &mut r.stats;
+        s.instructions = n();
+        for l in [&mut s.l1i, &mut s.l1d, &mut s.l2] {
+            for f in LEVEL_FIELDS {
+                level_set(l, f, n());
+            }
+        }
+        s.l2_compressed_hits = n();
+        s.l2_hit_latency_sum = n();
+        s.l2_hit_latency_count = n();
+        s.l2_victim_tag_hits = n();
+        s.harmful_prefetch_detections = n();
+        s.capacity_ratio_sum = 0.1 + 0.2; // not exactly representable: bit test
+        s.capacity_ratio_samples = n();
+        s.link.total_bytes = n();
+        s.link.data_bytes = n();
+        s.link.prefetch_bytes = n();
+        s.link.messages = n();
+        s.link.queue_delay_cycles = n();
+        s.link.busy_cycles = n();
+        s.mem_reads = n();
+        s.mem_writes = n();
+        s.coherence.invalidations = n();
+        s.coherence.recalls = n();
+        s.coherence.upgrades = n();
+        s.coherence.inclusion_recalls = n();
+        s.dropped_prefetches = n();
+        r
+    }
+
+    #[test]
+    fn journal_roundtrip_is_bit_exact() {
+        let e = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::AdaptivePrefetchCompression,
+            seed: 47,
+            result: distinct_result(),
+        };
+        let line = encode_entry(&e);
+        let back = decode_entry(&line).expect("decodes");
+        assert_eq!(back, e);
+        assert_eq!(
+            back.result.stats.capacity_ratio_sum.to_bits(),
+            e.result.stats.capacity_ratio_sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(decode_entry("").is_none());
+        assert!(decode_entry("{").is_none());
+        assert!(decode_entry("{\"workload\":\"apsi\"}").is_none());
+        assert!(decode_entry("not json at all").is_none());
+        let good = encode_entry(&JournalEntry {
+            workload: "w".into(),
+            variant: Variant::Base,
+            seed: 1,
+            result: distinct_result(),
+        });
+        assert!(decode_entry(&good[..good.len() - 5]).is_none(), "truncation detected");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_lengths() {
+        let a = SystemConfig::paper_default(2);
+        let b = SystemConfig::paper_default(4);
+        let l1 = SimLength { warmup: 10, measure: 20 };
+        let l2 = SimLength { warmup: 10, measure: 21 };
+        assert_ne!(fingerprint(&a, l1), fingerprint(&b, l1));
+        assert_ne!(fingerprint(&a, l1), fingerprint(&a, l2));
+        assert_eq!(fingerprint(&a, l1), fingerprint(&a.clone(), l1));
+    }
+
+    #[test]
+    fn load_append_and_mismatch_reset() {
+        let dir = std::env::temp_dir().join(format!(
+            "cmpsim-journal-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("grid.jsonl");
+
+        let j = Journal::new(&path, 0xdead);
+        assert_eq!(j.load_or_reset().unwrap(), vec![], "missing file is empty");
+
+        let e = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::Prefetch,
+            seed: 11,
+            result: distinct_result(),
+        };
+        j.append(&e).unwrap();
+        j.append(&JournalEntry { workload: "mgrid".into(), ..e.clone() }).unwrap();
+        let back = j.load_or_reset().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], e);
+        assert_eq!(back[1].workload, "mgrid");
+
+        // A journal written under another fingerprint is discarded.
+        let other = Journal::new(&path, 0xbeef);
+        assert_eq!(other.load_or_reset().unwrap(), vec![]);
+        assert!(!path.exists(), "mismatched journal is deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_line_skips_only_that_cell() {
+        let dir = std::env::temp_dir().join(format!(
+            "cmpsim-journal-trunc-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("grid.jsonl");
+        let j = Journal::new(&path, 7);
+        let e = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::Base,
+            seed: 1,
+            result: distinct_result(),
+        };
+        j.append(&e).unwrap();
+        // Simulate a kill mid-write of the second cell.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"workload\":\"mgr");
+        fs::write(&path, text).unwrap();
+        let back = j.load_or_reset().unwrap();
+        assert_eq!(back, vec![e]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -29,18 +29,29 @@
 //! let cfg = SystemConfig::paper_default(8);
 //! let spec = workload("zeus").expect("known workload");
 //! let mut sys = System::new(cfg, &spec);
-//! let result = sys.run(200_000, 1_000_000);
+//! let result = sys.run(200_000, 1_000_000).expect("simulation failed");
 //! println!("IPC {:.2}", result.ipc());
 //! ```
+//!
+//! Runs are supervised: [`System::run`] returns `Err(`[`SimError`]`)` if
+//! the forward-progress watchdog detects a livelock or (with
+//! `CMPSIM_CHECK=1`) a sampled structural invariant fails, and the
+//! [`experiment`] grid drivers either propagate that ([`experiment::
+//! run_grid_serial`]) or degrade it to a per-cell
+//! [`CellError`] while the rest of the sweep completes
+//! ([`experiment::run_grid_resilient`]).
 
 mod config;
 mod core_model;
+pub mod error;
 pub mod experiment;
+pub mod journal;
 pub mod metrics;
 pub mod report;
 mod stats;
 mod system;
 
 pub use config::{PrefetchMode, SystemConfig, Variant};
+pub use error::{CellError, SimError};
 pub use stats::{LevelStats, RunResult, SimStats};
 pub use system::System;

@@ -12,6 +12,7 @@
 
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::core_model::{Core, Wait};
+use crate::error::SimError;
 use crate::stats::{RunResult, SimStats};
 use crate::system::l2::{EvictedL2, L2Cache};
 use cmpsim_cache::{
@@ -31,6 +32,10 @@ const CAPACITY_SAMPLE_PERIOD: u64 = 4096;
 const PF_QUEUE_LIMIT: usize = 64;
 /// L2 bank busy time per access (pipelined banks).
 const BANK_OCCUPANCY: u64 = 2;
+/// With invariant checking on, run the full structural sweep every this
+/// many dispatched events (checks are linear in the L2, so sampling keeps
+/// the overhead to a few percent).
+const INVARIANT_SAMPLE_PERIOD: u64 = 2048;
 
 /// Which private L1 a request belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +129,10 @@ pub struct System {
     stats: SimStats,
     l2_demand_accesses: u64,
 
+    dispatched: u64,
+    last_progress_now: u64,
+    last_progress_insts: u64,
+
     warmup_per_core: u64,
     measure_per_core: u64,
     warm_flags: Vec<bool>,
@@ -181,6 +190,9 @@ impl System {
             policy: CompressionPolicy::new(cfg.mem_latency as u32, cfg.decompression_latency as u32),
             stats: SimStats::default(),
             l2_demand_accesses: 0,
+            dispatched: 0,
+            last_progress_now: 0,
+            last_progress_insts: 0,
             warmup_per_core: 0,
             measure_per_core: 0,
             warm_flags: vec![false; n],
@@ -202,7 +214,22 @@ impl System {
     /// Warms up for `warmup_per_core` instructions per core (stats
     /// frozen), then measures a fixed quota of `measure_per_core`
     /// instructions per core. Returns the measured counters and runtime.
-    pub fn run(&mut self, warmup_per_core: u64, measure_per_core: u64) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::Livelock`] if the forward-progress watchdog sees no
+    ///   instruction retire for `cfg.livelock_cycle_budget` cycles, or if
+    ///   the event queue drains with unfinished cores (a lost wakeup).
+    ///   The error carries a diagnostic dump of per-core stall states,
+    ///   in-flight fetches and link backlogs.
+    /// - [`SimError::InvariantViolation`] if sampled structural checks
+    ///   are enabled (`cfg.check_invariants` / `CMPSIM_CHECK=1`) and one
+    ///   fails.
+    pub fn run(
+        &mut self,
+        warmup_per_core: u64,
+        measure_per_core: u64,
+    ) -> Result<RunResult, SimError> {
         assert!(measure_per_core > 0, "nothing to measure");
         self.warmup_per_core = warmup_per_core;
         self.measure_per_core = measure_per_core;
@@ -216,15 +243,152 @@ impl System {
         for c in 0..self.cfg.cores {
             self.schedule(0, Event::CoreStep { core: c });
         }
+        self.last_progress_now = self.now;
+        self.last_progress_insts = self.total_retired();
         while let Some(Reverse((time, _, idx))) = self.queue.pop() {
             if self.finished == usize::from(self.cfg.cores) {
                 break;
             }
             self.now = time;
+            self.watchdog_tick()?;
             let ev = self.event_pool[idx];
             self.dispatch(ev);
+            self.dispatched += 1;
+            if self.cfg.check_invariants && self.dispatched % INVARIANT_SAMPLE_PERIOD == 0 {
+                self.check_invariants_now()?;
+            }
         }
-        self.collect()
+        if self.finished < usize::from(self.cfg.cores) {
+            return Err(self.livelock_error(0));
+        }
+        if self.cfg.check_invariants {
+            self.check_invariants_now()?;
+        }
+        Ok(self.collect())
+    }
+
+    /// Total instructions retired across all cores (warmup + measure).
+    fn total_retired(&self) -> u64 {
+        self.cores.iter().flatten().map(|c| c.insts).sum()
+    }
+
+    /// Forward-progress watchdog: every `livelock_cycle_budget` cycles of
+    /// event time, at least one instruction must have retired somewhere.
+    fn watchdog_tick(&mut self) -> Result<(), SimError> {
+        let budget = self.cfg.livelock_cycle_budget;
+        if budget == 0 || self.now.saturating_sub(self.last_progress_now) < budget {
+            return Ok(());
+        }
+        let retired = self.total_retired();
+        if retired == self.last_progress_insts {
+            return Err(self.livelock_error(self.now - self.last_progress_now));
+        }
+        self.last_progress_insts = retired;
+        self.last_progress_now = self.now;
+        Ok(())
+    }
+
+    /// Builds the livelock diagnostic dump. `window == 0` means the event
+    /// queue drained with unfinished cores rather than a quiet-window
+    /// timeout.
+    fn livelock_error(&self, window: u64) -> SimError {
+        use std::fmt::Write as _;
+        let mut d = String::new();
+        if window == 0 {
+            let _ = writeln!(
+                d,
+                "  event queue drained with {} of {} cores unfinished (lost wakeup)",
+                usize::from(self.cfg.cores) - self.finished,
+                self.cfg.cores
+            );
+        }
+        for (i, slot) in self.cores.iter().enumerate() {
+            if let Some(core) = slot {
+                let _ = writeln!(
+                    d,
+                    "  core {i}: waiting={:?} retired={} outstanding={} mshr_entries={} pf_queue={}",
+                    core.waiting,
+                    core.insts,
+                    core.outstanding,
+                    self.core_mshrs[i].len(),
+                    self.pf_queue[i].len()
+                );
+            }
+        }
+        let mut addrs: Vec<BlockAddr> = self.l2_mshrs.keys().copied().collect();
+        addrs.sort_by_key(|a| a.0);
+        let _ = writeln!(d, "  l2 fetches in flight: {}", addrs.len());
+        for a in addrs.iter().take(4) {
+            let m = &self.l2_mshrs[a];
+            let waiters: Vec<String> = m
+                .waiters
+                .iter()
+                .map(|w| {
+                    format!(
+                        "core{} {:?}{}",
+                        w.core,
+                        w.l1,
+                        if w.store { " store" } else { "" }
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                d,
+                "  in-flight block 0x{:x}: waiters=[{}] prefetch_core={:?} dir={:?}",
+                a.0,
+                waiters.join(", "),
+                m.prefetch_core,
+                self.l2.dir_of(*a)
+            );
+        }
+        let _ = writeln!(
+            d,
+            "  link backlog [request, data] = {:?} cycles",
+            self.link.lane_backlog(self.now)
+        );
+        let _ = write!(
+            d,
+            "  l2 bank busy (cycles past now): {:?}",
+            self.bank_free.iter().map(|b| b.saturating_sub(self.now)).collect::<Vec<_>>()
+        );
+        SimError::Livelock { cycle: self.now, window, diagnostic: d }
+    }
+
+    /// Full structural invariant sweep (sampled from `run`): VSC segment
+    /// accounting, directory owner/sharer consistency, link flit
+    /// conservation, and per-core MSHR budget accounting.
+    fn check_invariants_now(&self) -> Result<(), SimError> {
+        let at = |subsystem, detail| SimError::InvariantViolation {
+            cycle: self.now,
+            subsystem,
+            detail,
+        };
+        self.l2.check_invariants().map_err(|e| at("l2", e))?;
+        self.link.stats().check().map_err(|e| at("link", e))?;
+        for (i, slot) in self.cores.iter().enumerate() {
+            if let Some(core) = slot {
+                if core.outstanding > self.cfg.mshrs_per_core {
+                    return Err(at(
+                        "core",
+                        format!(
+                            "core {i}: {} outstanding requests exceed {} MSHRs",
+                            core.outstanding, self.cfg.mshrs_per_core
+                        ),
+                    ));
+                }
+                if self.core_mshrs[i].len() > core.outstanding {
+                    return Err(at(
+                        "core",
+                        format!(
+                            "core {i}: {} MSHR entries but only {} outstanding charges",
+                            self.core_mshrs[i].len(),
+                            core.outstanding
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn collect(&mut self) -> RunResult {

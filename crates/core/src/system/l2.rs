@@ -181,6 +181,49 @@ impl L2Cache {
         }
     }
 
+    /// Directory entry of a resident line, without LRU side effects.
+    /// Linear in the cache for the VSC organization — diagnostics only.
+    pub fn dir_of(&self, addr: BlockAddr) -> Option<DirEntry> {
+        match self {
+            L2Cache::Classic(c) => c.peek(addr).copied(),
+            L2Cache::Vsc(c) => {
+                let mut found = None;
+                c.for_each_valid(|a, m, _| {
+                    if a == addr {
+                        found = Some(*m);
+                    }
+                });
+                found
+            }
+        }
+    }
+
+    /// Checks the structural invariants of the whole L2: VSC segment
+    /// accounting (when applicable) plus MSI directory consistency of
+    /// every resident line. Linear in the cache; the engine samples it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut err = None;
+        let mut check_dir = |addr: BlockAddr, dir: &DirEntry| {
+            if err.is_none() {
+                if let Err(e) = dir.check() {
+                    err = Some(format!("directory entry for block 0x{:x}: {e}", addr.0));
+                }
+            }
+        };
+        match self {
+            L2Cache::Classic(c) => c.for_each_valid(|addr, dir| check_dir(addr, dir)),
+            L2Cache::Vsc(c) => {
+                c.check_invariants()?;
+                c.for_each_valid(|addr, dir, _| check_dir(addr, dir));
+            }
+        }
+        err.map_or(Ok(()), Err)
+    }
+
     /// Resets structural statistics.
     pub fn reset_stats(&mut self) {
         match self {

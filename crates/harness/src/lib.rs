@@ -15,6 +15,10 @@
 //! - [`pool`] — a scoped self-scheduling thread pool: idle workers claim
 //!   the next unstarted job, so a vector of independent closures spreads
 //!   across cores with results returned in submission order.
+//! - [`supervise`] — the fault-isolating counterpart to [`pool`]: per-job
+//!   panic capture, a watchdog enforcing a soft deadline
+//!   (`CMPSIM_CELL_DEADLINE_MS`), and bounded retry with backoff, so one
+//!   bad job in a long sweep degrades one result instead of the run.
 //!
 //! Everything here is deterministic for a fixed seed: property tests
 //! replay exactly, and the pool never changes *what* is computed, only
@@ -26,6 +30,8 @@ pub mod gen;
 pub mod pool;
 pub mod prop;
 mod rng;
+pub mod supervise;
 
 pub use gen::Gen;
 pub use rng::Rng;
+pub use supervise::{run_supervised, JobOutcome, Supervisor};

@@ -13,6 +13,7 @@
 //! on borrowed data, and a panicking job propagates to the caller after
 //! the scope joins.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -37,8 +38,11 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// If a job panics, the panic is propagated to the caller once all
-/// workers have joined.
+/// If a job panics, the panic is re-raised on the calling thread once
+/// all workers have joined, carrying the *original* payload and the
+/// failing job's index — not the generic "a scoped thread panicked" /
+/// poisoned-mutex noise. When several jobs panic, the one with the
+/// lowest index wins (deterministically, regardless of scheduling).
 pub fn run_indexed<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
@@ -53,6 +57,8 @@ where
     // without a shared queue lock; `next` is the steal cursor.
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let panics: Vec<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     thread::scope(|s| {
@@ -67,11 +73,34 @@ where
                     .expect("job slot poisoned")
                     .take()
                     .expect("job claimed twice");
-                let out = job();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                // Catch instead of unwinding through the scope: an
+                // unwinding worker would make `scope` panic with a
+                // generic message and poison sibling result mutexes.
+                match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(out) => {
+                        *results[i].lock().expect("result slot poisoned") = Some(out)
+                    }
+                    Err(payload) => {
+                        *panics[i].lock().expect("panic slot poisoned") = Some(payload)
+                    }
+                }
             });
         }
     });
+
+    // Re-raise the first (lowest-index) panic with its original payload.
+    for (i, p) in panics.into_iter().enumerate() {
+        if let Some(payload) = p.into_inner().expect("panic slot poisoned") {
+            eprintln!("cmpsim_harness::pool::run_indexed: job {i} of {n} panicked");
+            if let Some(msg) = payload.downcast_ref::<&str>() {
+                panic!("job {i} panicked: {msg}");
+            }
+            if let Some(msg) = payload.downcast_ref::<String>() {
+                panic!("job {i} panicked: {msg}");
+            }
+            resume_unwind(payload);
+        }
+    }
 
     results
         .into_iter()
@@ -147,5 +176,62 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 2 panicked: the real failure reason")]
+    fn panic_payload_and_index_propagate() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("the real failure reason");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        run_indexed(4, jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 1 panicked")]
+    fn lowest_index_panic_wins() {
+        // Both jobs panic; the report must deterministically name job 1
+        // (the lowest failing index), not whichever thread lost the race.
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..6u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 1 || i == 5 {
+                        panic!("boom {i}");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        run_indexed(4, jobs);
+    }
+
+    #[test]
+    fn surviving_jobs_still_run_after_a_panic() {
+        use std::sync::atomic::AtomicU64;
+        static RAN: AtomicU64 = AtomicU64::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> () + Send>> = (0..16u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        panic!("early panic");
+                    }
+                    RAN.fetch_add(1, Ordering::Relaxed);
+                }) as _
+            })
+            .collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| run_indexed(4, jobs)));
+        assert!(caught.is_err());
+        assert_eq!(
+            RAN.load(Ordering::Relaxed),
+            15,
+            "a panicking job must not prevent its siblings from running"
+        );
     }
 }

@@ -1,0 +1,442 @@
+//! Supervised job execution: panic isolation, watchdog deadlines, and
+//! bounded retry for batches of independent jobs.
+//!
+//! [`pool::run_indexed`](crate::pool::run_indexed) is the fast path for
+//! trusted jobs: a panic anywhere aborts the whole batch. This module is
+//! the *supervised* path for long sweeps where one bad cell must degrade
+//! one result, not the run: every job executes under
+//! [`catch_unwind`](std::panic::catch_unwind), a watchdog enforces a
+//! per-job soft deadline, and transient panics can be retried with
+//! exponential backoff. The caller gets a [`JobOutcome`] per job, in
+//! submission order.
+//!
+//! Because a hung job cannot be killed from safe Rust, a job that blows
+//! its deadline is **abandoned**: its thread keeps running detached (and
+//! is leaked) while the supervisor records [`JobOutcome::TimedOut`] and
+//! moves on. This is why jobs here carry `'static` bounds, unlike the
+//! scoped pool. Timed-out jobs are never retried — a deterministic job
+//! that hung once will hang again, and retrying would leak another
+//! thread.
+//!
+//! Determinism: scheduling decides only *when* a job runs, never *what*
+//! it computes, so for pure jobs the `Ok` results are bit-identical to a
+//! serial run at any `threads` count.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The terminal state of one supervised job.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job (or one of its retries) returned a value.
+    Ok(T),
+    /// Every permitted attempt panicked; `payload` is the final panic
+    /// message and `attempts` the number of attempts made.
+    Panicked {
+        /// Rendered payload of the last panic (`&str`/`String` payloads
+        /// verbatim, otherwise a placeholder).
+        payload: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// The job exceeded the watchdog deadline and was abandoned.
+    TimedOut {
+        /// Time the job had been running when it was abandoned.
+        elapsed: Duration,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// Whether the job produced a value.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// The value, if the job succeeded.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Supervision policy for [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Maximum concurrently running jobs (min 1).
+    pub threads: usize,
+    /// Per-job soft deadline; `None` disables the watchdog. Defaults to
+    /// `CMPSIM_CELL_DEADLINE_MS` when set in the environment.
+    pub deadline: Option<Duration>,
+    /// Retries after a panicked first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Backoff before retry `k` (1-based): `backoff * 2^(k-1)`.
+    pub backoff: Duration,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            threads: crate::pool::default_threads(),
+            deadline: deadline_from_env(),
+            retries: 0,
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Supervisor {
+    /// Default policy with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Supervisor { threads, ..Supervisor::default() }
+    }
+}
+
+/// The per-job watchdog deadline configured in the environment
+/// (`CMPSIM_CELL_DEADLINE_MS`, milliseconds), if any.
+pub fn deadline_from_env() -> Option<Duration> {
+    let ms: u64 = std::env::var("CMPSIM_CELL_DEADLINE_MS").ok()?.parse().ok()?;
+    Some(Duration::from_millis(ms))
+}
+
+/// Renders a panic payload for reporting.
+pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A job waiting to be (re)dispatched.
+struct Pending {
+    index: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// A job currently running on a worker thread.
+struct Running {
+    attempt: u32,
+    started: Instant,
+}
+
+/// Runs every job under supervision and returns one [`JobOutcome`] per
+/// job, in submission order.
+///
+/// - A panicking job is caught; with `cfg.retries > 0` it is re-run
+///   (after backoff) up to the retry budget, and only then reported as
+///   [`JobOutcome::Panicked`].
+/// - A job still running after `cfg.deadline` is abandoned (its thread
+///   leaks) and reported as [`JobOutcome::TimedOut`]; its slot is
+///   immediately reused for the next job.
+/// - All other jobs are unaffected by a neighbour's panic or hang.
+pub fn run_supervised<T, F>(cfg: &Supervisor, jobs: Vec<F>) -> Vec<JobOutcome<T>>
+where
+    T: Send + 'static,
+    F: Fn() -> T + Send + Sync + 'static,
+{
+    let n = jobs.len();
+    let threads = cfg.threads.max(1);
+    let jobs: Vec<Arc<F>> = jobs.into_iter().map(Arc::new).collect();
+    let mut outcomes: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+    let mut done = 0usize;
+
+    let (tx, rx) = mpsc::channel::<(usize, u32, Result<T, String>)>();
+    let mut pending: Vec<Pending> = (0..n)
+        .map(|i| Pending { index: i, attempt: 1, not_before: Instant::now() })
+        .collect();
+    // Dispatch in index order (pending is kept sorted by (not_before, index)).
+    pending.reverse(); // pop() takes the lowest index first
+    let mut running: HashMap<usize, Running> = HashMap::new();
+
+    while done < n {
+        // Fill free worker slots with dispatchable jobs.
+        let now = Instant::now();
+        while running.len() < threads {
+            // The lowest-index pending job whose backoff has elapsed.
+            let Some(pos) = pending.iter().rposition(|p| p.not_before <= now) else {
+                break;
+            };
+            let p = pending.remove(pos);
+            let job = Arc::clone(&jobs[p.index]);
+            let tx = tx.clone();
+            let (index, attempt) = (p.index, p.attempt);
+            let spawned = thread::Builder::new()
+                .name(format!("cmpsim-supervised-{index}"))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| job()))
+                        .map_err(|e| panic_payload_string(&*e));
+                    // The supervisor may have abandoned us; ignore send errors.
+                    let _ = tx.send((index, attempt, result));
+                });
+            match spawned {
+                Ok(_) => {
+                    running.insert(index, Running { attempt, started: now });
+                }
+                Err(e) => {
+                    // Spawn failure (resource exhaustion): report like a panic.
+                    outcomes[index] = Some(JobOutcome::Panicked {
+                        payload: format!("failed to spawn worker thread: {e}"),
+                        attempts: attempt,
+                    });
+                    done += 1;
+                }
+            }
+        }
+
+        if done == n {
+            break;
+        }
+
+        // Sleep until the next interesting instant: a watchdog expiry or
+        // a backoff elapsing (whichever is sooner), else block on results.
+        let now = Instant::now();
+        let mut wake: Option<Instant> = None;
+        if let Some(d) = cfg.deadline {
+            for r in running.values() {
+                let expiry = r.started + d;
+                wake = Some(wake.map_or(expiry, |w| w.min(expiry)));
+            }
+        }
+        if running.len() < threads {
+            for p in &pending {
+                wake = Some(wake.map_or(p.not_before, |w| w.min(p.not_before)));
+            }
+        }
+
+        let msg = match wake {
+            Some(at) => {
+                let timeout = at.saturating_duration_since(now);
+                match rx.recv_timeout(timeout) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("supervisor holds a sender")
+                    }
+                }
+            }
+            None => Some(rx.recv().expect("supervisor holds a sender")),
+        };
+
+        match msg {
+            Some((index, attempt, result)) => {
+                // A completion from an abandoned (timed-out) attempt, or
+                // from a stale attempt after a retry was scheduled, is
+                // dropped: the recorded outcome stands.
+                let current = running.get(&index).map(|r| r.attempt);
+                if current != Some(attempt) {
+                    continue;
+                }
+                running.remove(&index);
+                match result {
+                    Ok(v) => {
+                        outcomes[index] = Some(JobOutcome::Ok(v));
+                        done += 1;
+                    }
+                    Err(payload) => {
+                        if attempt <= cfg.retries {
+                            let delay = cfg.backoff * 2u32.saturating_pow(attempt - 1);
+                            let slot = Pending {
+                                index,
+                                attempt: attempt + 1,
+                                not_before: Instant::now() + delay,
+                            };
+                            // Keep the lowest-index-first pop order.
+                            let pos = pending
+                                .iter()
+                                .rposition(|p| p.index < index)
+                                .map_or(pending.len(), |p| p);
+                            pending.insert(pos, slot);
+                        } else {
+                            outcomes[index] =
+                                Some(JobOutcome::Panicked { payload, attempts: attempt });
+                            done += 1;
+                        }
+                    }
+                }
+            }
+            None => {
+                // Watchdog sweep: abandon every running job past deadline.
+                if let Some(d) = cfg.deadline {
+                    let now = Instant::now();
+                    let expired: Vec<usize> = running
+                        .iter()
+                        .filter(|(_, r)| now.duration_since(r.started) >= d)
+                        .map(|(&i, _)| i)
+                        .collect();
+                    for i in expired {
+                        let r = running.remove(&i).expect("job was running");
+                        outcomes[i] = Some(JobOutcome::TimedOut {
+                            elapsed: Instant::now().duration_since(r.started),
+                        });
+                        done += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every job has a recorded outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn quick() -> Supervisor {
+        Supervisor {
+            threads: 4,
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn all_ok_in_submission_order() {
+        let jobs: Vec<_> = (0..32u64).map(|i| move || i * 3).collect();
+        let out = run_supervised(&quick(), jobs);
+        for (i, o) in out.into_iter().enumerate() {
+            assert_eq!(o.ok(), Some(i as u64 * 3));
+        }
+    }
+
+    #[test]
+    fn panicking_job_degrades_only_itself() {
+        let jobs: Vec<Box<dyn Fn() -> u64 + Send + Sync>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job three is bad");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let out = run_supervised(&quick(), jobs);
+        for (i, o) in out.iter().enumerate() {
+            if i == 3 {
+                match o {
+                    JobOutcome::Panicked { payload, attempts } => {
+                        assert!(payload.contains("job three is bad"), "payload: {payload}");
+                        assert_eq!(*attempts, 1);
+                    }
+                    other => panic!("expected panic outcome, got {other:?}"),
+                }
+            } else {
+                assert!(o.is_ok(), "job {i} should have succeeded: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_job_times_out_while_others_complete() {
+        let cfg = Supervisor {
+            threads: 4,
+            deadline: Some(Duration::from_millis(50)),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+        };
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = (0..6u32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        // Far past the deadline; the thread is abandoned.
+                        thread::sleep(Duration::from_secs(30));
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let t0 = Instant::now();
+        let out = run_supervised(&cfg, jobs);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "supervisor must not wait for the hung job"
+        );
+        for (i, o) in out.iter().enumerate() {
+            if i == 2 {
+                match o {
+                    JobOutcome::TimedOut { elapsed } => {
+                        assert!(*elapsed >= Duration::from_millis(50));
+                    }
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            } else {
+                assert!(o.is_ok(), "job {i} should have succeeded: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_until_success() {
+        static FAILURES: AtomicU32 = AtomicU32::new(0);
+        let cfg = Supervisor { retries: 3, ..quick() };
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![Box::new(|| {
+            if FAILURES.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            99
+        })];
+        let out = run_supervised(&cfg, jobs);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            JobOutcome::Ok(v) => assert_eq!(*v, 99),
+            other => panic!("expected success after retries, got {other:?}"),
+        }
+        assert_eq!(FAILURES.load(Ordering::SeqCst), 3, "two failures + one success");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        static ATTEMPTS: AtomicU32 = AtomicU32::new(0);
+        let cfg = Supervisor { retries: 2, ..quick() };
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = vec![Box::new(|| {
+            ATTEMPTS.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails");
+        })];
+        let out = run_supervised(&cfg, jobs);
+        match &out[0] {
+            JobOutcome::Panicked { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn single_thread_still_supervises() {
+        let cfg = Supervisor { threads: 1, ..quick() };
+        let jobs: Vec<_> = (0..5u64).map(|i| move || i).collect();
+        let out = run_supervised(&cfg, jobs);
+        assert_eq!(out.into_iter().filter_map(JobOutcome::ok).collect::<Vec<_>>(),
+                   vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out: Vec<JobOutcome<u8>> = run_supervised(&quick(), Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn payload_rendering() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_payload_string(&*boxed), "literal");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_payload_string(&*boxed), "owned");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_payload_string(&*boxed), "<non-string panic payload>");
+    }
+}

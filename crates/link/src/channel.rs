@@ -55,6 +55,43 @@ impl ChannelStats {
             self.queue_delay_cycles as f64 / self.messages as f64
         }
     }
+
+    /// Checks flit conservation: every byte counted on the link is either
+    /// one message header or one data flit, so
+    /// `total_bytes == messages × HEADER_BYTES + data_bytes`, and the
+    /// prefetch/data sub-counters can never exceed the total. Used by the
+    /// simulator's opt-in invariant checker (`CMPSIM_CHECK=1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated conservation law.
+    pub fn check(&self) -> Result<(), String> {
+        let expected = self.messages * crate::message::HEADER_BYTES as u64 + self.data_bytes;
+        if self.total_bytes != expected {
+            return Err(format!(
+                "flit conservation violated: total_bytes {} != {} messages × {}B headers \
+                 + {} data bytes = {}",
+                self.total_bytes,
+                self.messages,
+                crate::message::HEADER_BYTES,
+                self.data_bytes,
+                expected
+            ));
+        }
+        if self.data_bytes > self.total_bytes {
+            return Err(format!(
+                "data bytes {} exceed total bytes {}",
+                self.data_bytes, self.total_bytes
+            ));
+        }
+        if self.prefetch_bytes > self.total_bytes {
+            return Err(format!(
+                "prefetch bytes {} exceed total bytes {}",
+                self.prefetch_bytes, self.total_bytes
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A bandwidth-metered, FIFO-serializing, full-duplex link.
@@ -152,6 +189,17 @@ impl Channel {
         &self.stats
     }
 
+    /// Remaining busy cycles of each lane (`[upstream, downstream]`) as
+    /// seen from cycle `now` — the queue depth, in time units, behind
+    /// which a new message would wait. Diagnostic input for the
+    /// simulator's livelock dump.
+    pub fn lane_backlog(&self, now: u64) -> [u64; 2] {
+        [
+            self.next_free[0].saturating_sub(now),
+            self.next_free[1].saturating_sub(now),
+        ]
+    }
+
     /// Clears counters (end of warmup) without resetting link occupancy.
     pub fn reset_stats(&mut self) {
         self.stats = ChannelStats::default();
@@ -232,6 +280,41 @@ mod tests {
         assert_eq!(link.stats().prefetch_bytes, 40);
         assert_eq!(link.stats().total_bytes, 80);
         assert_eq!(link.stats().data_bytes, 64);
+    }
+
+    #[test]
+    fn flit_conservation_holds_and_detects_corruption() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        assert_eq!(link.stats().check(), Ok(()));
+        link.send(0, &Message::read_request(BlockAddr(0), false));
+        link.send(0, &Message::data_response(BlockAddr(0), 3, true));
+        link.send(5, &Message::writeback(BlockAddr(1), 8));
+        assert_eq!(link.stats().check(), Ok(()));
+        link.reset_stats();
+        assert_eq!(link.stats().check(), Ok(()));
+
+        // A corrupted counter set is rejected with a description.
+        let bad = ChannelStats { total_bytes: 100, data_bytes: 8, messages: 1, ..Default::default() };
+        assert!(bad.check().unwrap_err().contains("flit conservation"));
+        let bad = ChannelStats {
+            total_bytes: 16,
+            data_bytes: 8,
+            prefetch_bytes: 99,
+            messages: 1,
+            ..Default::default()
+        };
+        assert!(bad.check().unwrap_err().contains("prefetch bytes"));
+    }
+
+    #[test]
+    fn lane_backlog_reports_queue_depth() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        assert_eq!(link.lane_backlog(0), [0, 0]);
+        link.send(0, &Message::data_response(BlockAddr(0), 8, false)); // 18 cycles downstream
+        link.send(0, &Message::read_request(BlockAddr(1), false)); // 2 cycles upstream
+        assert_eq!(link.lane_backlog(0), [2, 18]);
+        assert_eq!(link.lane_backlog(10), [0, 8]);
+        assert_eq!(link.lane_backlog(100), [0, 0]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn main() {
     let mut base_runtime = 0u64;
     for v in [Variant::Base, Variant::Prefetch, Variant::AdaptivePrefetch] {
         let mut sys = System::new(v.apply(base.clone()), &spec);
-        let r = sys.run(len.warmup, len.measure);
+        let r = sys.run(len.warmup, len.measure).expect("simulation failed");
         if v == Variant::Base {
             base_runtime = r.runtime();
         }

@@ -30,7 +30,7 @@ fn main() {
                 Variant::PrefetchCompression,
             ],
             len,
-        );
+        ).expect("simulation failed");
         t.row(&[
             format!("{bw} GB/s"),
             pct(grid.speedup_pct(Variant::Prefetch)),

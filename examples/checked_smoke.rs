@@ -1,0 +1,30 @@
+//! One small grid cell with every runtime safety net armed — the CI
+//! smoke run for the supervision layer (`scripts/ci.sh`).
+//!
+//! Runs zeus under compression + prefetching with the forward-progress
+//! watchdog and the sampled invariant checker enabled (the latter is
+//! also on whenever `CMPSIM_CHECK=1`), and fails loudly if either trips
+//! on a healthy configuration.
+
+use cmpsim::{workload, System, SystemConfig, Variant};
+
+fn main() {
+    let spec = workload("zeus").expect("known workload");
+    let cfg = Variant::PrefetchCompression
+        .apply(SystemConfig::paper_default(2).with_seed(11))
+        .with_invariant_checks(true);
+    let mut sys = System::new(cfg, &spec);
+    match sys.run(5_000, 20_000) {
+        Ok(result) => {
+            println!(
+                "checked smoke OK: {} instructions, IPC {:.2}, invariants held",
+                result.stats.instructions,
+                result.ipc()
+            );
+        }
+        Err(e) => {
+            eprintln!("checked smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

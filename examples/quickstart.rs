@@ -25,7 +25,8 @@ fn main() {
         Variant::AdaptivePrefetchCompression,
     ];
     println!("simulating {name} on an 8-core CMP (this takes a few seconds per config)…");
-    let grid = VariantGrid::run(&spec, &base, &variants, SimLength::standard());
+    let grid = VariantGrid::run(&spec, &base, &variants, SimLength::standard())
+        .expect("simulation failed");
 
     let mut t = Table::new(&["configuration", "runtime (cycles)", "IPC", "L2 MPKI", "GB/s", "speedup"]);
     for v in variants {

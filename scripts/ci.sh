@@ -16,6 +16,15 @@ cargo build --release --offline
 echo "== tier-1: offline tests (whole workspace) =="
 cargo test -q --offline --workspace
 
+echo "== supervision + determinism suites =="
+# Named explicitly (they also run as part of --workspace above) so a
+# failure in the resilience contract is unmissable in the CI log.
+cargo test -q --offline -p cmpsim-harness supervise
+cargo test -q --offline --test determinism --test resilience
+
+echo "== invariant-checked smoke cell (CMPSIM_CHECK=1) =="
+CMPSIM_CHECK=1 cargo run -q --release --offline --example checked_smoke
+
 echo "== hermeticity gate: no registry dependencies =="
 # A registry dependency in a manifest is one whose spec carries a
 # `version` requirement (string or inline-table form) instead of being a

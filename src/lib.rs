@@ -28,9 +28,9 @@
 //!
 //! // Base system vs. compression + prefetching combined.
 //! let mut sys = System::new(Variant::Base.apply(base.clone()), &spec);
-//! let before = sys.run(400_000, 1_200_000);
+//! let before = sys.run(400_000, 1_200_000).expect("simulation failed");
 //! let mut sys = System::new(Variant::PrefetchCompression.apply(base), &spec);
-//! let after = sys.run(400_000, 1_200_000);
+//! let after = sys.run(400_000, 1_200_000).expect("simulation failed");
 //! println!("speedup: {:.2}x", before.runtime() as f64 / after.runtime() as f64);
 //! ```
 
@@ -45,10 +45,11 @@ pub use cmpsim_trace as trace;
 
 pub use cmpsim_core::{
     experiment::{
-        across_seeds, run_grid_parallel, run_grid_serial, run_variant, GridCell, SimLength,
-        VariantGrid,
+        across_seeds, run_grid_parallel, run_grid_resilient, run_grid_serial, run_variant,
+        GridCell, ResilienceOptions, SimLength, VariantGrid,
     },
-    metrics, report, PrefetchMode, RunResult, SimStats, System, SystemConfig, Variant,
+    metrics, report, CellError, PrefetchMode, RunResult, SimError, SimStats, System, SystemConfig,
+    Variant,
 };
 pub use cmpsim_link::LinkBandwidth;
 pub use cmpsim_trace::{all_workloads, commercial_workloads, scientific_workloads, workload};

@@ -24,8 +24,8 @@ fn short() -> SimLength {
 fn serial_grid_is_repeatable() {
     let specs = all_workloads();
     let base = SystemConfig::paper_default(4).with_seed(11);
-    let a = run_grid_serial(&specs, &base, &VARIANTS, short());
-    let b = run_grid_serial(&specs, &base, &VARIANTS, short());
+    let a = run_grid_serial(&specs, &base, &VARIANTS, short()).unwrap();
+    let b = run_grid_serial(&specs, &base, &VARIANTS, short()).unwrap();
     assert_eq!(a.len(), specs.len() * VARIANTS.len());
     // RunResult derives PartialEq over every counter and every f64, so
     // this is exact equality, not tolerance-based comparison.
@@ -36,9 +36,9 @@ fn serial_grid_is_repeatable() {
 fn parallel_grid_matches_serial_at_every_thread_count() {
     let specs = all_workloads();
     let base = SystemConfig::paper_default(4).with_seed(11);
-    let serial = run_grid_serial(&specs, &base, &VARIANTS, short());
+    let serial = run_grid_serial(&specs, &base, &VARIANTS, short()).unwrap();
     for threads in [1usize, 2, 8] {
-        let par = run_grid_parallel(&specs, &base, &VARIANTS, short(), threads);
+        let par = run_grid_parallel(&specs, &base, &VARIANTS, short(), threads).unwrap();
         assert_eq!(serial, par, "parallel grid diverged at {threads} threads");
     }
 }
@@ -47,7 +47,7 @@ fn parallel_grid_matches_serial_at_every_thread_count() {
 fn grid_cells_are_ordered_row_major() {
     let specs = all_workloads();
     let base = SystemConfig::paper_default(4).with_seed(11);
-    let cells = run_grid_parallel(&specs, &base, &VARIANTS, short(), 8);
+    let cells = run_grid_parallel(&specs, &base, &VARIANTS, short(), 8).unwrap();
     for (i, cell) in cells.iter().enumerate() {
         assert_eq!(cell.workload, specs[i / VARIANTS.len()].name);
         assert_eq!(cell.variant, VARIANTS[i % VARIANTS.len()]);
@@ -63,12 +63,12 @@ fn different_seeds_produce_different_grids() {
         &SystemConfig::paper_default(4).with_seed(11),
         &VARIANTS,
         short(),
-    );
+    ).unwrap();
     let b = run_grid_serial(
         &specs,
         &SystemConfig::paper_default(4).with_seed(23),
         &VARIANTS,
         short(),
-    );
+    ).unwrap();
     assert_ne!(a, b, "seed is not reaching the simulation");
 }

@@ -12,7 +12,7 @@ const MEASURE: u64 = 80_000;
 fn run(cfg: SystemConfig, name: &str) -> cmpsim::RunResult {
     let spec = workload(name).expect("known workload");
     let mut sys = System::new(cfg, &spec);
-    sys.run(WARM, MEASURE)
+    sys.run(WARM, MEASURE).expect("simulation failed")
 }
 
 #[test]
@@ -39,7 +39,7 @@ fn all_workloads_run_under_all_variants() {
         for v in Variant::all() {
             let cfg = v.apply(SystemConfig::paper_default(2));
             let mut sys = System::new(cfg, &spec);
-            let r = sys.run(5_000, 15_000);
+            let r = sys.run(5_000, 15_000).expect("simulation failed");
             assert!(r.runtime() > 0, "{}/{v}: zero runtime", spec.name);
             assert!(r.ipc() > 0.0, "{}/{v}: zero IPC", spec.name);
             assert!(
@@ -70,9 +70,9 @@ fn compression_reduces_misses_on_compressible_workload() {
     let spec = workload("apache").unwrap();
     let base = SystemConfig::paper_default(8);
     let mut b = System::new(Variant::Base.apply(base.clone()), &spec);
-    let rb = b.run(600_000, 300_000);
+    let rb = b.run(600_000, 300_000).expect("simulation failed");
     let mut c = System::new(Variant::CacheCompression.apply(base), &spec);
-    let rc = c.run(600_000, 300_000);
+    let rc = c.run(600_000, 300_000).expect("simulation failed");
     assert!(
         rc.stats.compression_ratio() > 1.3,
         "apache should compress well, got {}",
@@ -128,9 +128,9 @@ fn adaptive_throttle_engages_on_hostile_workload() {
     let spec = workload("jbb").unwrap();
     let base = SystemConfig::paper_default(8);
     let mut p = System::new(Variant::Prefetch.apply(base.clone()), &spec);
-    let rp = p.run(300_000, 200_000);
+    let rp = p.run(300_000, 200_000).expect("simulation failed");
     let mut a = System::new(Variant::AdaptivePrefetch.apply(base), &spec);
-    let ra = a.run(300_000, 200_000);
+    let ra = a.run(300_000, 200_000).expect("simulation failed");
     assert!(
         ra.stats.l2.prefetches_issued < rp.stats.l2.prefetches_issued / 2,
         "throttle should cut jbb's junk prefetches ({} vs {})",
@@ -155,7 +155,7 @@ fn narrower_link_is_never_faster() {
     for bw in [10u32, 20, 80] {
         let cfg = SystemConfig::paper_default(8).with_link(cmpsim::LinkBandwidth::GBps(bw));
         let mut sys = System::new(cfg, &spec);
-        runtimes.push(sys.run(WARM, MEASURE).runtime());
+        runtimes.push(sys.run(WARM, MEASURE).expect("simulation failed").runtime());
     }
     assert!(runtimes[0] >= runtimes[1], "10 GB/s faster than 20 GB/s?");
     assert!(runtimes[1] >= runtimes[2], "20 GB/s faster than 80 GB/s?");
@@ -171,7 +171,7 @@ fn single_core_systems_work() {
 fn sixteen_core_systems_work() {
     let spec = workload("apache").unwrap();
     let mut sys = System::new(SystemConfig::paper_default(16), &spec);
-    let r = sys.run(10_000, 30_000);
+    let r = sys.run(10_000, 30_000).expect("simulation failed");
     assert!(r.stats.instructions >= 16 * 30_000);
 }
 

@@ -1,0 +1,340 @@
+//! Fault isolation and checkpoint/resume guarantees for the supervised
+//! grid driver, plus the simulator's own runtime safety nets (forward-
+//! progress watchdog, opt-in invariant checker).
+//!
+//! The acceptance properties from the supervision design:
+//!
+//! - an injected panicking / hanging / erroring cell degrades to a
+//!   per-cell [`CellError`] while every other cell completes;
+//! - a sweep killed mid-run and re-invoked with the same journal skips
+//!   completed cells and produces results **bit-identical** to an
+//!   uninterrupted `run_grid_serial`.
+
+use cmpsim::core::experiment::{
+    run_cells_resilient, run_grid_resilient, run_grid_serial, run_variant, ResilienceOptions,
+    SimLength,
+};
+use cmpsim::core::journal;
+use cmpsim::{workload, CellError, SimError, System, SystemConfig, Variant};
+use cmpsim_harness::Supervisor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const VARIANTS: [Variant; 2] = [Variant::Base, Variant::PrefetchCompression];
+
+fn short() -> SimLength {
+    SimLength { warmup: 2_000, measure: 8_000 }
+}
+
+fn small_base() -> SystemConfig {
+    SystemConfig::paper_default(2).with_seed(11)
+}
+
+/// Supervision policy for tests: small pool, no deadline, no retries.
+fn quick_supervisor() -> Supervisor {
+    Supervisor {
+        threads: 4,
+        deadline: None,
+        retries: 0,
+        backoff: Duration::from_millis(1),
+    }
+}
+
+/// A unique, pre-cleaned journal path for one test.
+fn temp_journal(name: &str) -> PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("cmpsim-resilience-{}-{name}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn healthy_resilient_sweep_matches_serial_bit_for_bit() {
+    let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
+    let base = small_base();
+    let serial = run_grid_serial(&specs, &base, &VARIANTS, short()).unwrap();
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let resilient = run_grid_resilient(&specs, &base, &VARIANTS, short(), &opts);
+    let cells: Vec<_> = resilient
+        .into_iter()
+        .map(|r| r.expect("healthy sweep must not degrade any cell"))
+        .collect();
+    // RunResult derives PartialEq over every counter and every f64, so
+    // this is exact equality, not tolerance-based comparison.
+    assert_eq!(serial, cells);
+}
+
+#[test]
+fn panicking_cell_degrades_only_itself() {
+    let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
+    let base = small_base();
+    let len = short();
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
+        if s.name == "apsi" && v == Variant::Base {
+            panic!("injected fault in apsi/base");
+        }
+        run_variant(s, b, v, len)
+    });
+    assert_eq!(out.len(), specs.len() * VARIANTS.len());
+    for (i, cell) in out.iter().enumerate() {
+        let (spec, variant) = (&specs[i / VARIANTS.len()], VARIANTS[i % VARIANTS.len()]);
+        if spec.name == "apsi" && variant == Variant::Base {
+            match cell {
+                Err(CellError::Panicked { workload, variant, payload, attempts }) => {
+                    assert_eq!(*workload, "apsi");
+                    assert_eq!(*variant, Variant::Base);
+                    assert_eq!(*attempts, 1);
+                    assert!(payload.contains("injected fault"), "payload: {payload}");
+                }
+                other => panic!("expected Panicked for apsi/base, got {other:?}"),
+            }
+        } else {
+            assert!(cell.is_ok(), "cell {i} should have completed: {cell:?}");
+        }
+    }
+}
+
+#[test]
+fn hanging_cell_times_out_while_others_complete() {
+    let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
+    let base = small_base();
+    let len = short();
+    let opts = ResilienceOptions {
+        supervisor: Supervisor {
+            deadline: Some(Duration::from_millis(100)),
+            ..quick_supervisor()
+        },
+        journal: None,
+    };
+    let t0 = std::time::Instant::now();
+    let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
+        if s.name == "zeus" && v == Variant::PrefetchCompression {
+            // Far past the deadline; the supervisor abandons the thread.
+            std::thread::sleep(Duration::from_secs(30));
+        }
+        run_variant(s, b, v, len)
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "the sweep must not wait for the hung cell"
+    );
+    let hung: Vec<_> = out.iter().filter(|c| c.is_err()).collect();
+    assert_eq!(hung.len(), 1, "exactly one cell should have failed: {out:?}");
+    match hung[0] {
+        Err(CellError::TimedOut { workload, variant, elapsed_ms }) => {
+            assert_eq!(*workload, "zeus");
+            assert_eq!(*variant, Variant::PrefetchCompression);
+            assert!(*elapsed_ms >= 100, "elapsed_ms: {elapsed_ms}");
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+}
+
+#[test]
+fn sim_error_cell_is_reported_in_place() {
+    let specs = vec![workload("zeus").unwrap()];
+    let base = small_base();
+    let len = short();
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
+        if v == Variant::Base {
+            return Err(SimError::InvariantViolation {
+                cycle: 42,
+                subsystem: "l2",
+                detail: "injected".to_string(),
+            });
+        }
+        run_variant(s, b, v, len)
+    });
+    match &out[0] {
+        Err(CellError::Sim { workload, error, .. }) => {
+            assert_eq!(*workload, "zeus");
+            assert_eq!(
+                *error,
+                SimError::InvariantViolation {
+                    cycle: 42,
+                    subsystem: "l2",
+                    detail: "injected".to_string(),
+                }
+            );
+        }
+        other => panic!("expected Sim error, got {other:?}"),
+    }
+    assert!(out[1].is_ok(), "the healthy cell must still complete: {:?}", out[1]);
+}
+
+#[test]
+fn transient_panic_recovers_under_retry() {
+    let specs = vec![workload("zeus").unwrap()];
+    let base = small_base();
+    let len = short();
+    let variants = [Variant::Base];
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&attempts);
+    let opts = ResilienceOptions {
+        supervisor: Supervisor { retries: 3, ..quick_supervisor() },
+        journal: None,
+    };
+    let out = run_cells_resilient(&specs, &base, &variants, 0, &opts, move |s, b, v| {
+        if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+            panic!("transient");
+        }
+        run_variant(s, b, v, len)
+    });
+    assert!(out[0].is_ok(), "cell should succeed on the third attempt: {:?}", out[0]);
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "two failures + one success");
+}
+
+/// The headline acceptance test: a sweep "killed" after finishing only
+/// the first workload (simulated by running the resilient driver over a
+/// prefix of the spec list, journaling as it goes) resumes under the
+/// full spec list with the same journal, re-runs **only** the missing
+/// cells, and the assembled grid is bit-identical to an uninterrupted
+/// serial sweep.
+#[test]
+fn killed_sweep_resumes_from_journal_bit_identically() {
+    let specs = vec![
+        workload("zeus").unwrap(),
+        workload("apsi").unwrap(),
+        workload("art").unwrap(),
+    ];
+    let base = small_base();
+    let len = short();
+    let path = temp_journal("resume");
+    let fp = journal::fingerprint(&base, len);
+    let opts = ResilienceOptions {
+        supervisor: quick_supervisor(),
+        journal: Some(path.clone()),
+    };
+
+    let calls = Arc::new(AtomicUsize::new(0));
+    let make_cell_fn = |calls: Arc<AtomicUsize>| {
+        move |s: &cmpsim_trace::WorkloadSpec, b: &SystemConfig, v: Variant| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            run_variant(s, b, v, len)
+        }
+    };
+
+    // Phase 1: the "interrupted" sweep — only the first workload finishes
+    // before the (simulated) kill. Its cells land in the journal.
+    let partial = run_cells_resilient(
+        &specs[..1],
+        &base,
+        &VARIANTS,
+        fp,
+        &opts,
+        make_cell_fn(Arc::clone(&calls)),
+    );
+    assert!(partial.iter().all(Result::is_ok));
+    assert_eq!(calls.load(Ordering::SeqCst), VARIANTS.len());
+
+    // Phase 2: re-invoke over the full sweep with the same journal. The
+    // journaled cells must be skipped, not re-simulated.
+    let resumed = run_cells_resilient(
+        &specs,
+        &base,
+        &VARIANTS,
+        fp,
+        &opts,
+        make_cell_fn(Arc::clone(&calls)),
+    );
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        specs.len() * VARIANTS.len(),
+        "resume must re-run only the cells missing from the journal"
+    );
+
+    // The assembled grid equals an uninterrupted serial sweep, exactly.
+    let serial = run_grid_serial(&specs, &base, &VARIANTS, len).unwrap();
+    let cells: Vec<_> = resumed.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(serial, cells, "resumed grid diverged from the uninterrupted run");
+
+    // Phase 3: a third invocation re-runs nothing at all.
+    let replayed = run_cells_resilient(
+        &specs,
+        &base,
+        &VARIANTS,
+        fp,
+        &opts,
+        make_cell_fn(Arc::clone(&calls)),
+    );
+    assert_eq!(calls.load(Ordering::SeqCst), specs.len() * VARIANTS.len());
+    let cells: Vec<_> = replayed.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(serial, cells);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal written under one sweep definition must not poison a
+/// different one: changing the fingerprint resets the journal and every
+/// cell re-runs.
+#[test]
+fn changed_fingerprint_invalidates_the_journal() {
+    let specs = vec![workload("zeus").unwrap()];
+    let base = small_base();
+    let len = short();
+    let path = temp_journal("fingerprint");
+    let opts = ResilienceOptions {
+        supervisor: quick_supervisor(),
+        journal: Some(path.clone()),
+    };
+    let calls = Arc::new(AtomicUsize::new(0));
+    for fp in [1u64, 2u64] {
+        let counter = Arc::clone(&calls);
+        let out = run_cells_resilient(&specs, &base, &VARIANTS, fp, &opts, move |s, b, v| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            run_variant(s, b, v, len)
+        });
+        assert!(out.iter().all(Result::is_ok));
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        2 * VARIANTS.len(),
+        "a fingerprint mismatch must discard the stale journal"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn livelock_watchdog_trips_on_tiny_budget_and_reports_diagnostics() {
+    let spec = workload("zeus").unwrap();
+    // A 50-cycle budget is far below a 400-cycle memory stall, so any
+    // real workload trips the watchdog almost immediately.
+    let cfg = small_base().with_livelock_budget(50);
+    let mut sys = System::new(cfg, &spec);
+    match sys.run(1_000, 4_000) {
+        Err(SimError::Livelock { cycle, window, diagnostic }) => {
+            assert!(window >= 50, "window: {window}");
+            assert!(cycle >= window);
+            assert!(diagnostic.contains("core"), "diagnostic should dump per-core state");
+        }
+        other => panic!("expected Livelock with a 50-cycle budget, got {other:?}"),
+    }
+}
+
+#[test]
+fn livelock_watchdog_disabled_with_zero_budget() {
+    let spec = workload("zeus").unwrap();
+    let cfg = small_base().with_livelock_budget(0);
+    let mut sys = System::new(cfg, &spec);
+    sys.run(1_000, 4_000).expect("budget 0 disables the watchdog");
+}
+
+#[test]
+fn healthy_run_passes_watchdog_and_invariant_checks() {
+    // Invariants are forced on (field, not env, to avoid races with
+    // other tests mutating the environment) across base and the full
+    // compression + prefetching stack.
+    for variant in [Variant::Base, Variant::PrefetchCompression] {
+        let spec = workload("oltp").unwrap();
+        let cfg = variant.apply(small_base()).with_invariant_checks(true);
+        let mut sys = System::new(cfg, &spec);
+        let result = sys
+            .run(2_000, 10_000)
+            .unwrap_or_else(|e| panic!("healthy {variant:?} run failed checks: {e}"));
+        assert!(result.stats.instructions > 0);
+    }
+}
