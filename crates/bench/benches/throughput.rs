@@ -1,0 +1,77 @@
+//! Simulator-throughput benchmark: events/sec and committed MIPS per
+//! configuration variant over the full workload set, from the engine's
+//! own [`RunResult`] throughput counters. Results land in
+//! `target/bench/throughput.json`; see DESIGN.md §Performance for how to
+//! read them.
+//!
+//! Knobs: `CMPSIM_WARMUP`/`CMPSIM_MEASURE` (instructions per core) set
+//! the grid size, `CMPSIM_BENCH_ITERS`/`CMPSIM_BENCH_WARMUP` the
+//! repetition count. CI runs this with smoke-length runs as a tracked
+//! baseline; the defaults below are the same smoke lengths so local runs
+//! are comparable.
+
+use cmpsim_bench::SEED;
+use cmpsim_core::experiment::{run_grid_serial, GridCell, SimLength};
+use cmpsim_core::report::throughput_summary;
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_harness::bench::Runner;
+use cmpsim_trace::all_workloads;
+
+const VARIANTS: [Variant; 4] =
+    [Variant::Base, Variant::BothCompression, Variant::Prefetch, Variant::PrefetchCompression];
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn main() {
+    // Smoke lengths by default (the CI baseline grid); the figure
+    // harnesses' standard lengths are ~20× longer and only change the
+    // absolute rates, not the variant-to-variant shape.
+    let len = SimLength {
+        warmup: env_u64("CMPSIM_WARMUP").unwrap_or(5_000),
+        measure: env_u64("CMPSIM_MEASURE").unwrap_or(20_000),
+    };
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(SEED);
+
+    let mut r = Runner::new("throughput", 1, 3);
+    let mut all_cells: Vec<GridCell> = Vec::new();
+
+    for variant in VARIANTS {
+        let label = format!("{variant:?}");
+        let mut cells: Vec<GridCell> = Vec::new();
+        r.bench_with(&format!("grid/{label}"), 1, 3, || {
+            cells = run_grid_serial(&specs, &base, &[variant], len).expect("simulation failed");
+            cells.len()
+        });
+        // Per-variant throughput from the engine's own counters, taken
+        // over the last measured iteration's runs.
+        let (mut events, mut retired, mut nanos) = (0u64, 0u64, 0u64);
+        for c in &cells {
+            events += c.result.events;
+            retired += c.result.retired;
+            nanos += c.result.host_nanos;
+        }
+        let secs = nanos as f64 / 1e9;
+        r.metric(&format!("events_per_sec/{label}"), events as f64 / secs);
+        r.metric(&format!("committed_mips/{label}"), retired as f64 / 1e6 / secs);
+        all_cells.extend(cells);
+    }
+
+    // Aggregate over the whole workloads × variants grid — the number the
+    // CI baseline tracks.
+    let (mut events, mut retired, mut nanos) = (0u64, 0u64, 0u64);
+    for c in &all_cells {
+        events += c.result.events;
+        retired += c.result.retired;
+        nanos += c.result.host_nanos;
+    }
+    let secs = nanos as f64 / 1e9;
+    r.metric("events_per_sec/total", events as f64 / secs);
+    r.metric("committed_mips/total", retired as f64 / 1e6 / secs);
+
+    println!("{}", throughput_summary(all_cells.iter().map(|c| &c.result)));
+    let path = r.write_json().expect("write bench artifact");
+    println!("throughput artifact: {}", path.display());
+}

@@ -62,6 +62,9 @@ pub fn parallel_grids_for(
 ) -> Vec<(WorkloadSpec, VariantGrid)> {
     let cells = run_grid_parallel(&specs, base, variants, len, default_threads())
         .expect("simulation failed");
+    // To stderr: stdout (the paper tables) must stay byte-identical
+    // across thread counts and runs, and this line carries wall-clock.
+    eprintln!("{}", cmpsim_core::report::throughput_summary(cells.iter().map(|c| &c.result)));
     specs
         .into_iter()
         .zip(cells.chunks(variants.len()))

@@ -34,7 +34,10 @@ use std::path::{Path, PathBuf};
 
 /// Journal format version (bump on any encoding change; old files are
 /// then discarded via the fingerprint line).
-const VERSION: u64 = 1;
+///
+/// v2: added the simulator-throughput fields (`events`, `retired`,
+/// `host_nanos`) to each cell line.
+const VERSION: u64 = 2;
 
 /// One completed cell read back from a journal. `workload` is owned
 /// because the file outlives any `&'static` workload table.
@@ -213,6 +216,11 @@ fn numeric_fields(r: &RunResult) -> Vec<(String, u64)> {
     let mut kv: Vec<(String, u64)> = vec![
         ("cycles".into(), r.cycles),
         ("clock_ghz".into(), u64::from(r.clock_ghz)),
+        ("events".into(), r.events),
+        ("retired".into(), r.retired),
+        // Wall-clock of the original run; outside `PartialEq` but kept
+        // so resumed sweeps can still report throughput.
+        ("host_nanos".into(), r.host_nanos),
         ("stats.instructions".into(), s.instructions),
     ];
     for (name, l) in [("l1i", &s.l1i), ("l1d", &s.l1d), ("l2", &s.l2)] {
@@ -282,6 +290,9 @@ fn decode_entry(line: &str) -> Option<JournalEntry> {
         stats: SimStats::default(),
         cycles: num_of("cycles")?,
         clock_ghz: u32::try_from(num_of("clock_ghz")?).ok()?,
+        events: num_of("events")?,
+        retired: num_of("retired")?,
+        host_nanos: num_of("host_nanos")?,
     };
     let s = &mut r.stats;
     s.instructions = num_of("stats.instructions")?;
@@ -389,7 +400,14 @@ mod tests {
     /// A result with a distinct value in every field, so a round-trip
     /// detects any encoder/decoder omission or swap.
     fn distinct_result() -> RunResult {
-        let mut r = RunResult { stats: SimStats::default(), cycles: 1, clock_ghz: 2 };
+        let mut r = RunResult {
+            stats: SimStats::default(),
+            cycles: 1,
+            clock_ghz: 2,
+            events: 101,
+            retired: 102,
+            host_nanos: 103,
+        };
         let mut next = 3u64;
         let mut n = || {
             next += 1;
@@ -440,6 +458,8 @@ mod tests {
             back.result.stats.capacity_ratio_sum.to_bits(),
             e.result.stats.capacity_ratio_sum.to_bits()
         );
+        // `==` ignores wall-clock by design, so check it separately.
+        assert_eq!(back.result.host_nanos, e.result.host_nanos);
     }
 
     #[test]

@@ -100,7 +100,7 @@ mod tests {
         let mut stats = SimStats::default();
         stats.l2.demand_misses = misses;
         stats.l2.prefetches_issued = prefetches;
-        RunResult { stats, cycles, clock_ghz: 5 }
+        RunResult { stats, cycles, clock_ghz: 5, events: 0, retired: 0, host_nanos: 0 }
     }
 
     #[test]

@@ -151,7 +151,16 @@ impl SimStats {
 }
 
 /// The outcome of one measured simulation.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Alongside the model outputs (counters, cycles), a result carries the
+/// *simulator's own* throughput figures: how many discrete events the
+/// engine dispatched and how long the run took on the host. `events` is
+/// a deterministic model-side count (two runs with the same seed
+/// dispatch identical event sequences); `host_nanos` is wall-clock and
+/// therefore varies run to run, so [`PartialEq`] deliberately ignores
+/// it — the grid determinism and kill/resume suites compare results
+/// with `==` and must not be perturbed by timing noise.
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Counters accumulated during the measurement phase.
     pub stats: SimStats,
@@ -160,6 +169,28 @@ pub struct RunResult {
     pub cycles: u64,
     /// Core clock in GHz (to convert traffic to GB/s).
     pub clock_ghz: u32,
+    /// Events the engine dispatched over the whole run (warmup +
+    /// measurement). Deterministic for a fixed seed.
+    pub events: u64,
+    /// Instructions retired over the whole run (warmup + measurement).
+    /// Deterministic for a fixed seed.
+    pub retired: u64,
+    /// Host wall-clock nanoseconds the run took. **Not** part of
+    /// equality; see the type docs.
+    pub host_nanos: u64,
+}
+
+impl PartialEq for RunResult {
+    /// Compares every deterministic field and ignores `host_nanos`
+    /// (wall-clock), keeping serial/parallel and fresh/resumed grids
+    /// bit-comparable.
+    fn eq(&self, other: &Self) -> bool {
+        self.stats == other.stats
+            && self.cycles == other.cycles
+            && self.clock_ghz == other.clock_ghz
+            && self.events == other.events
+            && self.retired == other.retired
+    }
 }
 
 impl RunResult {
@@ -186,6 +217,27 @@ impl RunResult {
     /// Runtime in cycles (lower is better; speedups divide these).
     pub fn runtime(&self) -> u64 {
         self.cycles
+    }
+
+    /// Simulator throughput: engine events dispatched per host second
+    /// (0.0 when the run recorded no wall-clock).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+
+    /// Simulator throughput: committed (retired) instructions per host
+    /// microsecond — "committed MIPS" (0.0 when the run recorded no
+    /// wall-clock).
+    pub fn committed_mips(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.retired as f64 * 1e3 / self.host_nanos as f64
+        }
     }
 }
 
@@ -223,9 +275,49 @@ mod tests {
     fn run_result_metrics() {
         let mut stats = SimStats { instructions: 5_000_000, ..Default::default() };
         stats.link.total_bytes = 4_000_000;
-        let r = RunResult { stats, cycles: 1_000_000, clock_ghz: 5 };
+        let r = RunResult {
+            stats,
+            cycles: 1_000_000,
+            clock_ghz: 5,
+            events: 3_000_000,
+            retired: 6_000_000,
+            host_nanos: 2_000_000_000,
+        };
         assert!((r.ipc() - 5.0).abs() < 1e-9);
         assert!((r.bandwidth_gbps() - 20.0).abs() < 1e-9);
+        assert!((r.events_per_sec() - 1_500_000.0).abs() < 1e-6);
+        assert!((r.committed_mips() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_ignores_host_wall_clock() {
+        let a = RunResult {
+            stats: SimStats::default(),
+            cycles: 10,
+            clock_ghz: 5,
+            events: 7,
+            retired: 9,
+            host_nanos: 111,
+        };
+        let mut b = a.clone();
+        b.host_nanos = 999_999;
+        assert_eq!(a, b, "wall-clock must not break bit-comparability");
+        b.events = 8;
+        assert_ne!(a, b, "deterministic fields must still compare");
+    }
+
+    #[test]
+    fn zero_wall_clock_throughput_is_safe() {
+        let r = RunResult {
+            stats: SimStats::default(),
+            cycles: 0,
+            clock_ghz: 5,
+            events: 0,
+            retired: 0,
+            host_nanos: 0,
+        };
+        assert_eq!(r.events_per_sec(), 0.0);
+        assert_eq!(r.committed_mips(), 0.0);
     }
 
     #[test]

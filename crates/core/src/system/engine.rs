@@ -19,12 +19,14 @@ use cmpsim_cache::{
     AccessKind, BlockAddr, CompressionDecision, CompressionPolicy, SetAssocCache, SetAssocConfig,
 };
 use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
+use cmpsim_harness::fastmap::{AddrMap, MemoCache};
 use cmpsim_link::{Channel, Message};
 use cmpsim_mem::MemoryController;
 use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
 use cmpsim_trace::{CoreGenerator, TraceEvent, WorkloadSpec};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
 
 /// Sample the effective capacity ratio every this many demand L2 accesses.
 const CAPACITY_SAMPLE_PERIOD: u64 = 4096;
@@ -36,6 +38,16 @@ const BANK_OCCUPANCY: u64 = 2;
 /// many dispatched events (checks are linear in the L2, so sampling keeps
 /// the overhead to a few percent).
 const INVARIANT_SAMPLE_PERIOD: u64 = 2048;
+/// Slots in the FPC segment-size memo. Direct-mapped and capacity-capped:
+/// a colliding line evicts the previous resident and a later miss just
+/// recomputes, so long runs keep a fixed footprint instead of growing one
+/// entry per distinct block address touched (64 Ki slots cover a 4 MB L2
+/// with headroom for link-only traffic).
+const SEG_MEMO_SLOTS: usize = 1 << 16;
+/// Bits of the packed heap key holding the event-pool slot index. The
+/// remaining low bits of the key's lower word (64 − SLOT_BITS = 42) hold
+/// the schedule sequence number; see [`System::schedule`].
+const SLOT_BITS: u32 = 22;
 
 /// Which private L1 a request belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,21 +110,34 @@ struct L2Mshr {
 pub struct System {
     cfg: SystemConfig,
     values: cmpsim_trace::ValueProfile,
-    seg_cache: HashMap<u64, u8>,
+    seg_cache: MemoCache<u8>,
 
     now: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Min-heap of packed event keys: `time << 64 | seq << SLOT_BITS |
+    /// slot`. One `u128` compare orders by `(time, seq)` — `seq` is
+    /// unique, so the slot bits never decide — and keeps heap entries at
+    /// 16 bytes for sift locality.
+    queue: BinaryHeap<Reverse<u128>>,
+    /// Slab of scheduled events, indexed by the heap's third tuple field.
+    /// Slots are recycled through `free_slots` once dispatched, so the
+    /// slab's high-water mark tracks the *outstanding* event count, not
+    /// the total ever scheduled. Heap order is `(time, seq)` — `seq` is
+    /// unique and monotonic, so the slot index never participates in
+    /// ordering and recycling cannot perturb determinism.
     event_pool: Vec<Event>,
+    free_slots: Vec<usize>,
 
-    cores: Vec<Option<Core>>,
+    /// Boxed so `step_core`'s take/put-back (a borrow-splitting dance)
+    /// moves one pointer, not the core's whole embedded trace generator.
+    cores: Vec<Option<Box<Core>>>,
     l1i: Vec<SetAssocCache<MsiState>>,
     l1d: Vec<SetAssocCache<MsiState>>,
-    core_mshrs: Vec<HashMap<BlockAddr, CoreMshr>>,
+    core_mshrs: Vec<AddrMap<CoreMshr>>,
 
     l2: L2Cache,
     bank_free: Vec<u64>,
-    l2_mshrs: HashMap<BlockAddr, L2Mshr>,
+    l2_mshrs: AddrMap<L2Mshr>,
     link: Channel,
     mem: MemoryController,
 
@@ -151,22 +176,23 @@ impl System {
         let l1_cfg = SetAssocConfig::with_capacity(cfg.l1_bytes, cfg.l1_ways);
         let values = spec.value_profile(cfg.seed);
         let cores = (0..cfg.cores)
-            .map(|c| Some(Core::new(c, CoreGenerator::new(spec, c, cfg.seed))))
+            .map(|c| Some(Box::new(Core::new(c, CoreGenerator::new(spec, c, cfg.seed)))))
             .collect();
         System {
             values,
-            seg_cache: HashMap::new(),
+            seg_cache: MemoCache::new(SEG_MEMO_SLOTS),
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
             event_pool: Vec::new(),
+            free_slots: Vec::new(),
             cores,
             l1i: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
             l1d: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
-            core_mshrs: (0..n).map(|_| HashMap::new()).collect(),
+            core_mshrs: (0..n).map(|_| AddrMap::with_capacity(cfg.mshrs_per_core * 2)).collect(),
             l2: L2Cache::new(cfg.l2_bytes, cfg.uses_vsc()),
             bank_free: vec![0; cfg.l2_banks],
-            l2_mshrs: HashMap::new(),
+            l2_mshrs: AddrMap::with_capacity(64),
             link: Channel::new(cfg.link, cfg.clock_ghz),
             mem: MemoryController::new(cfg.mem_latency),
             pf_l1i: (0..n).map(|_| StridePrefetcher::new(PrefetcherConfig::l1())).collect(),
@@ -231,6 +257,7 @@ impl System {
         measure_per_core: u64,
     ) -> Result<RunResult, SimError> {
         assert!(measure_per_core > 0, "nothing to measure");
+        let host_start = Instant::now();
         self.warmup_per_core = warmup_per_core;
         self.measure_per_core = measure_per_core;
         if warmup_per_core == 0 {
@@ -245,13 +272,17 @@ impl System {
         }
         self.last_progress_now = self.now;
         self.last_progress_insts = self.total_retired();
-        while let Some(Reverse((time, _, idx))) = self.queue.pop() {
+        while let Some(Reverse(key)) = self.queue.pop() {
             if self.finished == usize::from(self.cfg.cores) {
                 break;
             }
-            self.now = time;
+            let idx = (key as u64 & ((1 << SLOT_BITS) - 1)) as usize;
+            self.now = (key >> 64) as u64;
             self.watchdog_tick()?;
             let ev = self.event_pool[idx];
+            // The slot is dead as soon as the event is read; recycle it
+            // before dispatch so the handlers' own schedules can reuse it.
+            self.free_slots.push(idx);
             self.dispatch(ev);
             self.dispatched += 1;
             if self.cfg.check_invariants && self.dispatched % INVARIANT_SAMPLE_PERIOD == 0 {
@@ -264,7 +295,8 @@ impl System {
         if self.cfg.check_invariants {
             self.check_invariants_now()?;
         }
-        Ok(self.collect())
+        let host_nanos = host_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        Ok(self.collect(host_nanos))
     }
 
     /// Total instructions retired across all cores (warmup + measure).
@@ -315,11 +347,11 @@ impl System {
                 );
             }
         }
-        let mut addrs: Vec<BlockAddr> = self.l2_mshrs.keys().copied().collect();
+        let mut addrs: Vec<BlockAddr> = self.l2_mshrs.keys().map(BlockAddr).collect();
         addrs.sort_by_key(|a| a.0);
         let _ = writeln!(d, "  l2 fetches in flight: {}", addrs.len());
         for a in addrs.iter().take(4) {
-            let m = &self.l2_mshrs[a];
+            let m = self.l2_mshrs.get(a.0).expect("key just listed");
             let waiters: Vec<String> = m
                 .waiters
                 .iter()
@@ -391,7 +423,7 @@ impl System {
         Ok(())
     }
 
-    fn collect(&mut self) -> RunResult {
+    fn collect(&mut self, host_nanos: u64) -> RunResult {
         self.stats.link = *self.link.stats();
         self.stats.mem_reads = self.mem.stats().reads;
         let finish = self
@@ -405,14 +437,31 @@ impl System {
             stats: self.stats.clone(),
             cycles: finish.saturating_sub(self.measure_start),
             clock_ghz: self.cfg.clock_ghz,
+            events: self.dispatched,
+            retired: self.total_retired(),
+            host_nanos,
         }
     }
 
     fn schedule(&mut self, time: u64, ev: Event) {
         self.seq += 1;
-        let idx = self.event_pool.len();
-        self.event_pool.push(ev);
-        self.queue.push(Reverse((time, self.seq, idx)));
+        let idx = match self.free_slots.pop() {
+            Some(slot) => {
+                self.event_pool[slot] = ev;
+                slot
+            }
+            None => {
+                self.event_pool.push(ev);
+                self.event_pool.len() - 1
+            }
+        };
+        assert!(
+            self.seq < 1 << (64 - SLOT_BITS) && idx < 1 << SLOT_BITS,
+            "packed event key overflow"
+        );
+        self.queue.push(Reverse(
+            (u128::from(time) << 64) | u128::from(self.seq << SLOT_BITS | idx as u64),
+        ));
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -432,13 +481,13 @@ impl System {
 
     // ------------------------------------------------------------ helpers
 
-    /// FPC segment count of a line's (deterministic) contents, memoized.
+    /// FPC segment count of a line's (deterministic) contents, memoized
+    /// in a bounded direct-mapped cache (an eviction only costs the
+    /// recompute; the value is a pure function of the address).
     fn segments_of(&mut self, addr: BlockAddr) -> u8 {
         let values = &self.values;
-        *self
-            .seg_cache
-            .entry(addr.0)
-            .or_insert_with(|| values.segments_of(addr.0))
+        self.seg_cache
+            .get_or_insert_with(addr.0, || values.segments_of(addr.0))
     }
 
     /// Segments a data message for `addr` occupies on the link.
@@ -622,7 +671,7 @@ impl System {
             return true;
         }
         // Miss: merged or new, the frontend stalls either way.
-        if let Some(m) = self.core_mshrs[c].get_mut(&line) {
+        if let Some(m) = self.core_mshrs[c].get_mut(line.0) {
             self.stats.l1i.accesses += 1;
             self.stats.l1i.demand_misses += 1;
             m.prefetched = false; // partial hit: demand takes over
@@ -642,7 +691,7 @@ impl System {
         let deg = self.l1_degree(L1Kind::I, c);
         let burst = if deg > 0 { self.pf_l1i[c].on_miss(line, deg) } else { Vec::new() };
         self.core_mshrs[c].insert(
-            line,
+            line.0,
             CoreMshr { l1: L1Kind::I, prefetched: false, store: false, load_seqs: Vec::new() },
         );
         core.outstanding += 1;
@@ -686,12 +735,12 @@ impl System {
                 }
             }
             if needs_upgrade
-                && !self.core_mshrs[c].contains_key(&line)
+                && !self.core_mshrs[c].contains_key(line.0)
                 && core.outstanding < self.cfg.mshrs_per_core
             {
                 self.stats.coherence.upgrades += 1;
                 self.core_mshrs[c].insert(
-                    line,
+                    line.0,
                     CoreMshr { l1: L1Kind::D, prefetched: false, store: true, load_seqs: Vec::new() },
                 );
                 core.outstanding += 1;
@@ -719,7 +768,7 @@ impl System {
 
         // Miss. Merge into an in-flight request when possible.
         let seq = core.insts;
-        if let Some(m) = self.core_mshrs[c].get_mut(&line) {
+        if let Some(m) = self.core_mshrs[c].get_mut(line.0) {
             self.stats.l1d.accesses += 1;
             self.stats.l1d.demand_misses += 1;
             m.prefetched = false;
@@ -753,7 +802,7 @@ impl System {
             core.track_load(seq);
         }
         self.core_mshrs[c]
-            .insert(line, CoreMshr { l1: L1Kind::D, prefetched: false, store, load_seqs });
+            .insert(line.0, CoreMshr { l1: L1Kind::D, prefetched: false, store, load_seqs });
         core.outstanding += 1;
         let at = core.cycle + self.cfg.l1_latency + self.cfg.l1_to_l2_latency;
         self.schedule(
@@ -782,7 +831,7 @@ impl System {
             L1Kind::I => self.l1i[c].contains(addr),
             L1Kind::D => self.l1d[c].contains(addr),
         };
-        if present || self.core_mshrs[c].contains_key(&addr) {
+        if present || self.core_mshrs[c].contains_key(addr.0) {
             return;
         }
         if core.outstanding >= self.cfg.mshrs_per_core {
@@ -794,7 +843,7 @@ impl System {
             L1Kind::D => self.stats.l1d.prefetches_issued += 1,
         }
         self.core_mshrs[c]
-            .insert(addr, CoreMshr { l1: kind, prefetched: true, store: false, load_seqs: Vec::new() });
+            .insert(addr.0, CoreMshr { l1: kind, prefetched: true, store: false, load_seqs: Vec::new() });
         core.outstanding += 1;
         self.schedule(
             at + self.cfg.l1_to_l2_latency,
@@ -928,7 +977,7 @@ impl System {
             }
         }
 
-        if let Some(m) = self.l2_mshrs.get_mut(&addr) {
+        if let Some(m) = self.l2_mshrs.get_mut(addr.0) {
             if origin != Origin::L2Prefetch {
                 m.waiters.push(Waiter {
                     core: c as u8,
@@ -950,14 +999,14 @@ impl System {
                 prefetched: origin == Origin::L1Prefetch,
             });
         }
-        self.l2_mshrs.insert(addr, mshr);
+        self.l2_mshrs.insert(addr.0, mshr);
         self.schedule(tag_done, Event::LinkRequest { addr });
     }
 
     fn handle_link_request(&mut self, addr: BlockAddr) {
         let for_prefetch = self
             .l2_mshrs
-            .get(&addr)
+            .get(addr.0)
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
         let tr = self.link.send(self.now, &Message::read_request(addr, for_prefetch));
@@ -975,7 +1024,7 @@ impl System {
         let segments = if link_compression { form.segments } else { cmpsim_fpc::MAX_SEGMENTS };
         let for_prefetch = self
             .l2_mshrs
-            .get(&addr)
+            .get(addr.0)
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
         let tr = self
@@ -985,7 +1034,7 @@ impl System {
     }
 
     fn handle_l2_fill(&mut self, addr: BlockAddr) {
-        let Some(mshr) = self.l2_mshrs.remove(&addr) else { return };
+        let Some(mshr) = self.l2_mshrs.remove(addr.0) else { return };
         let prefetched_fill =
             mshr.waiters.is_empty() || mshr.waiters.iter().all(|w| w.prefetched);
         let seg_store = self.store_segments(addr);
@@ -1083,7 +1132,7 @@ impl System {
     // ------------------------------------------------------ L2 prefetches
 
     fn issue_l2_prefetch(&mut self, c: usize, addr: BlockAddr, at: u64) {
-        if self.l2.contains(addr) || self.l2_mshrs.contains_key(&addr) {
+        if self.l2.contains(addr) || self.l2_mshrs.contains_key(addr.0) {
             return;
         }
         let outstanding = self.cores[c].as_ref().map(|k| k.outstanding).unwrap_or(0);
@@ -1106,7 +1155,7 @@ impl System {
             core.outstanding += 1;
         }
         self.l2_mshrs
-            .insert(addr, L2Mshr { waiters: Vec::new(), prefetch_core: Some(c as u8) });
+            .insert(addr.0, L2Mshr { waiters: Vec::new(), prefetch_core: Some(c as u8) });
         self.schedule(at.max(self.now), Event::LinkRequest { addr });
     }
 
@@ -1117,7 +1166,7 @@ impl System {
                 return;
             }
             let Some(addr) = self.pf_queue[c].pop_front() else { return };
-            if self.l2.contains(addr) || self.l2_mshrs.contains_key(&addr) {
+            if self.l2.contains(addr) || self.l2_mshrs.contains_key(addr.0) {
                 continue; // became stale while queued
             }
             if self.l2_degree() == 0 {
@@ -1207,7 +1256,7 @@ impl System {
     /// its stall condition is satisfied.
     fn complete_core_mshr(&mut self, c: usize, addr: BlockAddr) {
         let mut wake = false;
-        if let Some(m) = self.core_mshrs[c].remove(&addr) {
+        if let Some(m) = self.core_mshrs[c].remove(addr.0) {
             if let Some(core) = self.cores[c].as_mut() {
                 debug_assert_eq!(usize::from(core.id()), c, "MSHR/core mismatch");
                 debug_assert!(

@@ -35,7 +35,7 @@ mod pattern;
 mod segment;
 
 pub use line::{compress, compressed_segments, CompressedLine};
-pub use pattern::{encode_word, Pattern, Token, PREFIX_BITS};
+pub use pattern::{encode_word, encode_word_sized, Pattern, Token, PREFIX_BITS};
 pub use segment::{
     bits_to_segments, segment_bytes_for, LINE_BYTES, MAX_COMPRESSED_SEGMENTS, MAX_SEGMENTS,
     SEGMENT_BITS, SEGMENT_BYTES, WORDS_PER_LINE, WORD_BYTES,

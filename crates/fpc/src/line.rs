@@ -1,6 +1,6 @@
 //! Line-level FPC compression: tokenization, sizing and exact decompression.
 
-use crate::pattern::{encode_word, Token, MAX_ZERO_RUN};
+use crate::pattern::{encode_word_sized, Token, MAX_ZERO_RUN};
 use crate::segment::{bits_to_segments, LINE_BYTES, MAX_SEGMENTS, WORDS_PER_LINE};
 
 /// A losslessly compressed 64-byte cache line.
@@ -68,58 +68,132 @@ impl CompressedLine {
 /// assert_eq!(compress(&line).segments(), 1);
 /// ```
 pub fn compress(line: &[u8; LINE_BYTES]) -> CompressedLine {
-    let mut tokens = Vec::with_capacity(WORDS_PER_LINE);
-    let mut bits = 0u32;
-    let mut zero_run = 0u8;
-
-    let flush_run = |run: &mut u8, tokens: &mut Vec<Token>, bits: &mut u32| {
-        while *run > 0 {
-            let count = (*run).min(MAX_ZERO_RUN);
-            let tok = Token::ZeroRun { count };
-            *bits += tok.bits();
-            tokens.push(tok);
-            *run -= count;
-        }
-    };
-
-    for chunk in line.chunks_exact(4) {
-        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
-        if word == 0 {
-            zero_run += 1;
-            continue;
-        }
-        flush_run(&mut zero_run, &mut tokens, &mut bits);
-        let tok = encode_word(word);
-        bits += tok.bits();
-        tokens.push(tok);
+    let mut words = [0u32; WORDS_PER_LINE];
+    for (w, chunk) in words.iter_mut().zip(line.chunks_exact(4)) {
+        *w = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
     }
-    flush_run(&mut zero_run, &mut tokens, &mut bits);
+
+    let n_tokens = token_count(&words);
+    let mut tokens = Vec::with_capacity(n_tokens);
+    let mut bits = 0u32;
+    let mut i = 0;
+    while i < WORDS_PER_LINE {
+        if words[i] == 0 {
+            // Greedy run split: a run longer than MAX_ZERO_RUN emits a
+            // full-length token first, matching the sizing fast path.
+            let mut count = 1u8;
+            while count < MAX_ZERO_RUN
+                && i + usize::from(count) < WORDS_PER_LINE
+                && words[i + usize::from(count)] == 0
+            {
+                count += 1;
+            }
+            let tok = Token::ZeroRun { count };
+            bits += tok.bits();
+            tokens.push(tok);
+            i += usize::from(count);
+        } else {
+            let (tok, tok_bits) = encode_word_sized(words[i]);
+            bits += tok_bits;
+            tokens.push(tok);
+            i += 1;
+        }
+    }
+    debug_assert_eq!(tokens.len(), n_tokens, "token pre-size must be exact");
 
     CompressedLine { tokens, bits }
 }
 
+/// Exact number of tokens [`compress`] will emit for these words: one per
+/// nonzero word plus one per zero-run token (see [`zero_run_tokens`]).
+fn token_count(words: &[u32; WORDS_PER_LINE]) -> usize {
+    let mut mask = 0u32;
+    let mut nonzero = 0usize;
+    for (i, &w) in words.iter().enumerate() {
+        mask |= u32::from(w == 0) << i;
+        nonzero += usize::from(w != 0);
+    }
+    nonzero + zero_run_tokens(mask) as usize
+}
+
+/// Number of `ZeroRun` tokens needed to cover the zero words flagged in
+/// the 16-bit `mask` (bit *i* set ⇔ word *i* is zero), without walking the
+/// runs: each maximal run of length L costs `ceil(L / 8)` tokens.
+///
+/// Run *starts* are positions whose predecessor bit is clear, counted with
+/// one popcount of `mask & !(mask << 1)`. A second token is only ever
+/// needed for a run of ≥ 9 words, and a 16-bit mask fits at most one such
+/// run (two would need 9 + 9 zeros plus a separating one-bit = 19 bits),
+/// so the correction is a single flag: the doubling chain
+/// `c2 = m & m>>1`, `c4 = c2 & c2>>2`, `c8 = c4 & c4>>4` marks positions
+/// starting 2/4/8 consecutive zeros, and `c8 & (m >> 8)` is nonzero
+/// exactly when some run reaches 9.
+fn zero_run_tokens(mask: u32) -> u32 {
+    debug_assert!(mask < 1 << WORDS_PER_LINE);
+    let runs = (mask & !(mask << 1)).count_ones();
+    let c2 = mask & (mask >> 1);
+    let c4 = c2 & (c2 >> 2);
+    let c8 = c4 & (c4 >> 4);
+    runs + u32::from(c8 & (mask >> 8) != 0)
+}
+
+/// Encoded bits of one **nonzero** word, from a branchless evaluation of
+/// the pattern chain (priority order matches
+/// [`crate::pattern::encode_word`]): each class predicate is computed as a
+/// 0/1 flag via wrapping-add range checks, then the first match in
+/// priority order selects the size arithmetically.
+#[inline]
+fn nonzero_word_bits(w: u32) -> u32 {
+    // Sign-extension tests: w is a sign-extended k-bit value exactly when
+    // w + 2^(k-1) (wrapping) fits in k bits.
+    let s4 = u32::from(w.wrapping_add(8) < 16);
+    let s8 = u32::from(w.wrapping_add(0x80) < 0x100);
+    let s16 = u32::from(w.wrapping_add(0x8000) < 0x1_0000);
+    let zp16 = u32::from(w & 0xFFFF == 0);
+    let hi = w >> 16;
+    let lo = w & 0xFFFF;
+    // Halfword h sign-extends from a byte when (h + 0x80) mod 2^16 < 0x100.
+    let tsb = u32::from(hi.wrapping_add(0x80) & 0xFFFF < 0x100)
+        & u32::from(lo.wrapping_add(0x80) & 0xFFFF < 0x100);
+    let rb = u32::from(w == (w & 0xFF).wrapping_mul(0x0101_0101));
+
+    // First-match selection: Signed4 (7 bits) > Signed8 (11) >
+    // {Signed16, ZeroPadded16, TwoSignedBytes} (all 19) > RepeatedBytes
+    // (11) > Uncompressed (35). The three 19-bit classes share a flag
+    // since only their size matters here.
+    let c19 = s16 | zp16 | tsb;
+    let not4 = 1 - s4;
+    let pick8 = not4 * s8;
+    let rem = not4 * (1 - s8);
+    let pick19 = rem * c19;
+    let rem = rem * (1 - c19);
+    let pick_rb = rem * rb;
+    let pick_un = rem * (1 - rb);
+    s4 * 7 + pick8 * 11 + pick19 * 19 + pick_rb * 11 + pick_un * 35
+}
+
 /// Fast path: compressed size in segments without building a token vector.
 ///
-/// Equivalent to `compress(line).segments()` but allocation-free; this is
-/// the call on the simulator's hot path (every L2 fill and link transfer).
+/// Equivalent to `compress(line).segments()` but allocation-free and
+/// branch-light; this is the call on the simulator's hot path (every L2
+/// fill and link transfer). The line is read as eight 64-bit loads (two
+/// words each); zero words are collected into a 16-bit occupancy mask and
+/// charged via [`zero_run_tokens`], while nonzero words are sized by the
+/// branchless [`nonzero_word_bits`] — a zero word's contribution from
+/// that path is masked off arithmetically rather than with a branch.
 pub fn compressed_segments(line: &[u8; LINE_BYTES]) -> u8 {
     let mut bits = 0u32;
-    let mut zero_run = 0u32;
-    for chunk in line.chunks_exact(4) {
-        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
-        if word == 0 {
-            zero_run += 1;
-            continue;
-        }
-        if zero_run > 0 {
-            bits += zero_run.div_ceil(u32::from(MAX_ZERO_RUN)) * 6;
-            zero_run = 0;
-        }
-        bits += encode_word(word).bits();
+    let mut mask = 0u32;
+    for (i, chunk) in line.chunks_exact(8).enumerate() {
+        let pair = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let lo = pair as u32;
+        let hi = (pair >> 32) as u32;
+        mask |= u32::from(lo == 0) << (2 * i);
+        mask |= u32::from(hi == 0) << (2 * i + 1);
+        bits += nonzero_word_bits(lo) * u32::from(lo != 0);
+        bits += nonzero_word_bits(hi) * u32::from(hi != 0);
     }
-    if zero_run > 0 {
-        bits += zero_run.div_ceil(u32::from(MAX_ZERO_RUN)) * 6;
-    }
+    bits += zero_run_tokens(mask) * 6;
     bits_to_segments(bits)
 }
 

@@ -150,32 +150,43 @@ impl Token {
 /// assert_eq!(encode_word(0xDEADBEEF).pattern(), Pattern::Uncompressed);
 /// ```
 pub fn encode_word(word: u32) -> Token {
+    encode_word_sized(word).0
+}
+
+/// Classifies one word and returns the token together with its encoded
+/// size in bits, from a single pass over the pattern chain.
+///
+/// `encode_word(w).bits()` re-derives the size by matching on the token a
+/// second time; the line encoder sits on the simulator's hot path and
+/// needs both, so this fused form returns the size as a literal from the
+/// same branch that classified the word.
+pub fn encode_word_sized(word: u32) -> (Token, u32) {
     if word == 0 {
-        return Token::ZeroRun { count: 1 };
+        return (Token::ZeroRun { count: 1 }, PREFIX_BITS + 3);
     }
     let sword = word as i32;
     if (-8..=7).contains(&sword) {
-        return Token::Signed4(sword as i8);
+        return (Token::Signed4(sword as i8), PREFIX_BITS + 4);
     }
     if i32::from(sword as i8) == sword {
-        return Token::Signed8(sword as i8);
+        return (Token::Signed8(sword as i8), PREFIX_BITS + 8);
     }
     if i32::from(sword as i16) == sword {
-        return Token::Signed16(sword as i16);
+        return (Token::Signed16(sword as i16), PREFIX_BITS + 16);
     }
     if word & 0xFFFF == 0 {
-        return Token::ZeroPadded16((word >> 16) as u16);
+        return (Token::ZeroPadded16((word >> 16) as u16), PREFIX_BITS + 16);
     }
     let high = (word >> 16) as u16;
     let low = (word & 0xFFFF) as u16;
     if i16::from(high as i16 as i8) == high as i16 && i16::from(low as i16 as i8) == low as i16 {
-        return Token::TwoSignedBytes(high as i16 as i8, low as i16 as i8);
+        return (Token::TwoSignedBytes(high as i16 as i8, low as i16 as i8), PREFIX_BITS + 16);
     }
     let bytes = word.to_ne_bytes();
     if bytes[0] == bytes[1] && bytes[1] == bytes[2] && bytes[2] == bytes[3] {
-        return Token::RepeatedBytes(bytes[0]);
+        return (Token::RepeatedBytes(bytes[0]), PREFIX_BITS + 8);
     }
-    Token::Uncompressed(word)
+    (Token::Uncompressed(word), PREFIX_BITS + 32)
 }
 
 #[cfg(test)]
@@ -242,6 +253,44 @@ mod tests {
         assert_eq!(encode_word(100).bits(), 11);
         assert_eq!(encode_word(30_000).bits(), 19);
         assert_eq!(encode_word(0xDEAD_BEEF).bits(), 35);
+    }
+
+    #[test]
+    fn sized_encoding_agrees_with_token_bits() {
+        // Sweep every pattern class plus boundary words: the fused size
+        // must always equal the token's own bits().
+        for w in [
+            0u32,
+            1,
+            7,
+            8,
+            (-8i32) as u32,
+            (-9i32) as u32,
+            127,
+            128,
+            (-128i32) as u32,
+            (-129i32) as u32,
+            32_767,
+            32_768,
+            (-32_768i32) as u32,
+            (-32_769i32) as u32,
+            0x0001_0000,
+            0x1234_0000,
+            0xFFFF_0000,
+            0x0042_FF85,
+            0x007F_007F,
+            0x00FF_00FF,
+            0xABAB_ABAB,
+            0x8080_8080,
+            0xDEAD_BEEF,
+            u32::MAX,
+            1 << 31,
+            0x7FFF_FFFF,
+        ] {
+            let (tok, bits) = encode_word_sized(w);
+            assert_eq!(tok, encode_word(w), "token mismatch for {w:#x}");
+            assert_eq!(bits, tok.bits(), "size mismatch for {w:#x}");
+        }
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Fuzz equivalence of the word-parallel sizing fast path against the
+//! reference encoder: `compressed_segments(line)` must equal
+//! `compress(line).segments()` for *every* line.
+//!
+//! The fast path classifies words branchlessly two-at-a-time and charges
+//! zero runs from a 16-bit mask, so the adversarial inputs here target
+//! its specific failure modes: words straddling every pattern-class
+//! boundary, zero runs of every length and alignment (especially around
+//! the 8-word token split), and halfword/byte patterns that distinguish
+//! the 19-bit classes from `RepeatedBytes` and `Uncompressed`.
+
+use cmpsim_fpc::{compress, compressed_segments, LINE_BYTES, WORDS_PER_LINE};
+use cmpsim_harness::{gen, prop::check, prop_assert_eq};
+
+fn line_of_words(words: &[u32]) -> [u8; LINE_BYTES] {
+    assert_eq!(words.len(), WORDS_PER_LINE);
+    let mut line = [0u8; LINE_BYTES];
+    for (chunk, w) in line.chunks_exact_mut(4).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    line
+}
+
+fn assert_equivalent(line: &[u8; LINE_BYTES]) -> Result<(), String> {
+    let reference = compress(line);
+    prop_assert_eq!(compressed_segments(line), reference.segments());
+    // The decoder is the ground truth that the reference itself is honest.
+    prop_assert_eq!(reference.decompress(), *line);
+    Ok(())
+}
+
+/// Words drawn from the boundaries of every FPC pattern class, where the
+/// branchless range checks could be off by one.
+fn boundary_word() -> gen::Gen<u32> {
+    gen::select(vec![
+        // ZeroRun / Signed4 boundary.
+        0u32,
+        1,
+        7,
+        8,
+        (-1i32) as u32,
+        (-8i32) as u32,
+        (-9i32) as u32,
+        // Signed8 edges.
+        127,
+        128,
+        (-128i32) as u32,
+        (-129i32) as u32,
+        // Signed16 edges.
+        32_767,
+        32_768,
+        (-32_768i32) as u32,
+        (-32_769i32) as u32,
+        // ZeroPadded16: low halfword exactly zero / almost zero.
+        0x0001_0000,
+        0x8000_0000,
+        0xFFFF_0000,
+        0x0001_0001,
+        // TwoSignedBytes: each halfword at the sign-extension edge.
+        0x007F_007F,
+        0x0080_0080,
+        0xFF80_FF80,
+        0xFF7F_FF7F,
+        0x007F_FF80,
+        0x00FF_00FF,
+        // RepeatedBytes (and near misses).
+        0xABAB_ABAB,
+        0x8080_8080,
+        0xABAB_ABAC,
+        // Uncompressed.
+        0xDEAD_BEEF,
+        0x1234_5678,
+    ])
+}
+
+/// Lines of pure boundary words: every word sits on a classification edge.
+#[test]
+fn boundary_lines_agree() {
+    check(
+        "boundary_lines_agree",
+        &gen::vec_exact(boundary_word(), WORDS_PER_LINE),
+        |words| assert_equivalent(&line_of_words(words)),
+    );
+}
+
+/// Zero-heavy lines: most words zero, so runs of every length and
+/// alignment occur — including runs ≥ 9 that need a second token.
+#[test]
+fn zero_run_shapes_agree() {
+    let sparse = gen::pair(
+        gen::vec_exact(gen::u32s(0..=2), WORDS_PER_LINE),
+        boundary_word(),
+    )
+    .map(|(picks, w)| {
+        // pick 0 → zero word (2/3 of positions on average), else the
+        // boundary word, yielding dense, varied run structure.
+        picks.iter().map(|&p| if p > 0 { 0 } else { w }).collect::<Vec<u32>>()
+    });
+    check("zero_run_shapes_agree", &sparse, |words| {
+        assert_equivalent(&line_of_words(words))
+    });
+}
+
+/// Every contiguous zero run length and start position, exhaustively.
+#[test]
+fn exhaustive_single_runs_agree() {
+    for start in 0..WORDS_PER_LINE {
+        for len in 1..=(WORDS_PER_LINE - start) {
+            let mut words = [0xDEAD_BEEFu32; WORDS_PER_LINE];
+            for w in &mut words[start..start + len] {
+                *w = 0;
+            }
+            let line = line_of_words(&words);
+            assert_eq!(
+                compressed_segments(&line),
+                compress(&line).segments(),
+                "run start {start} len {len}"
+            );
+        }
+    }
+}
+
+/// Every 16-bit zero-occupancy mask (all 65 536 run structures) with a
+/// fixed nonzero filler: covers every possible run layout the mask-based
+/// accounting can see.
+#[test]
+fn exhaustive_zero_masks_agree() {
+    for mask in 0u32..(1 << WORDS_PER_LINE) {
+        let mut words = [0x0042_FF85u32; WORDS_PER_LINE];
+        for (i, w) in words.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                *w = 0;
+            }
+        }
+        let line = line_of_words(&words);
+        assert_eq!(
+            compressed_segments(&line),
+            compress(&line).segments(),
+            "mask {mask:#06x}"
+        );
+    }
+}
+
+/// Fully random lines (raw bytes, so words hit every class arbitrarily).
+#[test]
+fn random_lines_agree() {
+    check(
+        "random_lines_agree",
+        &gen::vec_exact(gen::u8s(..), LINE_BYTES),
+        |bytes| {
+            let mut line = [0u8; LINE_BYTES];
+            line.copy_from_slice(bytes);
+            assert_equivalent(&line)
+        },
+    );
+}
+
+/// Random words biased toward small magnitudes (the distribution the
+/// simulator's value profiles actually generate).
+#[test]
+fn small_magnitude_lines_agree() {
+    let small = gen::i32s(-300..=300).map(|v| v as u32);
+    check(
+        "small_magnitude_lines_agree",
+        &gen::vec_exact(small, WORDS_PER_LINE),
+        |words| assert_equivalent(&line_of_words(words)),
+    );
+}

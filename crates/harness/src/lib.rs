@@ -19,6 +19,10 @@
 //!   panic capture, a watchdog enforcing a soft deadline
 //!   (`CMPSIM_CELL_DEADLINE_MS`), and bounded retry with backoff, so one
 //!   bad job in a long sweep degrades one result instead of the run.
+//! - [`fastmap`] — deterministic, SipHash-free hash containers for the
+//!   engine's hot paths: an open-addressing [`fastmap::AddrMap`] for
+//!   MSHR-style exact maps and a bounded [`fastmap::MemoCache`] for
+//!   memoizing pure functions of block addresses.
 //!
 //! Everything here is deterministic for a fixed seed: property tests
 //! replay exactly, and the pool never changes *what* is computed, only
@@ -26,6 +30,7 @@
 //! run_grid_parallel`) stay bit-identical to their serial counterparts.
 
 pub mod bench;
+pub mod fastmap;
 pub mod gen;
 pub mod pool;
 pub mod prop;

@@ -1,0 +1,133 @@
+//! Bit-identity gate for engine optimizations (`scripts/ci.sh`).
+//!
+//! Runs a fixed smoke grid (the paper's 8 workloads x 4 headline
+//! variants, 4 cores, seed 11) through `run_grid_serial` and folds every
+//! *model-output* counter of every cell into one FNV-1a digest. The
+//! digest over this grid was recorded from the seed engine (before the
+//! fast-path maps, the recycled event pool and the word-parallel FPC
+//! sizing landed) into `tests/golden/grid_digest.txt`; any engine change
+//! that alters simulated behavior — rather than just how fast it is
+//! computed — changes the digest and fails the gate.
+//!
+//! Only fields that existed in the seed `RunResult` participate, so the
+//! digest stays comparable across PRs that add host-side measurement
+//! fields (wall-clock, dispatched-event counts). The `f64` field is
+//! folded as its IEEE-754 bit pattern, making the comparison bit-exact.
+//!
+//! Usage:
+//!   cargo run --release --example grid_digest           # compare
+//!   CMPSIM_WRITE_GOLDEN=1 cargo run ... grid_digest     # (re)record
+
+use cmpsim::{all_workloads, run_grid_serial, GridCell, SimLength, SystemConfig, Variant};
+use std::time::Instant;
+
+const VARIANTS: [Variant; 4] = [
+    Variant::Base,
+    Variant::BothCompression,
+    Variant::Prefetch,
+    Variant::PrefetchCompression,
+];
+
+const GOLDEN_PATH: &str = "tests/golden/grid_digest.txt";
+
+fn fnv1a(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Digests the seed-era fields of one cell (see module docs for why new
+/// fields are deliberately excluded).
+fn digest_cell(h: &mut u64, cell: &GridCell) {
+    for b in cell.workload.bytes() {
+        fnv1a(h, u64::from(b));
+    }
+    for b in cell.variant.label().bytes() {
+        fnv1a(h, u64::from(b));
+    }
+    fnv1a(h, cell.seed);
+    let r = &cell.result;
+    fnv1a(h, r.cycles);
+    fnv1a(h, u64::from(r.clock_ghz));
+    let s = &r.stats;
+    fnv1a(h, s.instructions);
+    for l in [&s.l1i, &s.l1d, &s.l2] {
+        for v in [
+            l.accesses,
+            l.hits,
+            l.demand_misses,
+            l.prefetch_hits,
+            l.prefetches_issued,
+            l.prefetch_fills,
+            l.useless_prefetch_evictions,
+        ] {
+            fnv1a(h, v);
+        }
+    }
+    for v in [
+        s.l2_compressed_hits,
+        s.l2_hit_latency_sum,
+        s.l2_hit_latency_count,
+        s.l2_victim_tag_hits,
+        s.harmful_prefetch_detections,
+        s.capacity_ratio_sum.to_bits(),
+        s.capacity_ratio_samples,
+        s.link.total_bytes,
+        s.link.data_bytes,
+        s.link.prefetch_bytes,
+        s.link.messages,
+        s.link.queue_delay_cycles,
+        s.link.busy_cycles,
+        s.mem_reads,
+        s.mem_writes,
+        s.coherence.invalidations,
+        s.coherence.recalls,
+        s.coherence.upgrades,
+        s.coherence.inclusion_recalls,
+        s.dropped_prefetches,
+    ] {
+        fnv1a(h, v);
+    }
+}
+
+fn main() {
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let len = SimLength { warmup: 5_000, measure: 20_000 };
+
+    let t0 = Instant::now();
+    let cells =
+        run_grid_serial(&specs, &base, &VARIANTS, len).expect("smoke grid simulates");
+    let elapsed = t0.elapsed();
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in &cells {
+        digest_cell(&mut h, cell);
+    }
+    let digest = format!("{h:016x}");
+    println!(
+        "grid digest: {digest}  ({} cells in {:.2}s)",
+        cells.len(),
+        elapsed.as_secs_f64()
+    );
+
+    if std::env::var("CMPSIM_WRITE_GOLDEN").is_ok() {
+        std::fs::create_dir_all("tests/golden").expect("create tests/golden");
+        std::fs::write(GOLDEN_PATH, format!("{digest}\n")).expect("write golden");
+        println!("recorded golden digest to {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH}: {e}"));
+    let golden = golden.trim();
+    if digest != golden {
+        eprintln!(
+            "grid digest MISMATCH: got {digest}, golden {golden}\n\
+             the engine's simulated behavior diverged from the seed path \
+             (run with CMPSIM_WRITE_GOLDEN=1 only for an intentional model change)"
+        );
+        std::process::exit(1);
+    }
+    println!("grid digest matches the seed-engine golden ({GOLDEN_PATH})");
+}

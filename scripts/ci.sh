@@ -25,6 +25,24 @@ cargo test -q --offline --test determinism --test resilience
 echo "== invariant-checked smoke cell (CMPSIM_CHECK=1) =="
 CMPSIM_CHECK=1 cargo run -q --release --offline --example checked_smoke
 
+echo "== hot-path bit-identity gate (run_grid_serial vs seed golden) =="
+# The smoke grid's FNV-1a digest over every seed-era result field must
+# match tests/golden/grid_digest.txt, recorded from the pre-optimization
+# engine: the hot-path data structures (fastmap, event-pool free list,
+# word-parallel FPC sizing) must never change simulation results.
+cargo run -q --release --offline --example grid_digest
+
+echo "== throughput baseline (smoke grid, JSON artifact) =="
+# Engine events/sec and committed MIPS per variant on the smoke grid;
+# the artifact lands in target/bench/throughput.json so CI runs leave a
+# comparable record (see DESIGN.md, Performance).
+CMPSIM_BENCH_WARMUP=1 CMPSIM_BENCH_ITERS=3 \
+    cargo bench -q --offline -p cmpsim-bench --bench throughput
+test -s target/bench/throughput.json || {
+    echo "throughput bench artifact missing" >&2
+    exit 1
+}
+
 echo "== hermeticity gate: no registry dependencies =="
 # A registry dependency in a manifest is one whose spec carries a
 # `version` requirement (string or inline-table form) instead of being a
