@@ -70,6 +70,13 @@ fn main() {
     let secs = nanos as f64 / 1e9;
     r.metric("events_per_sec/total", events as f64 / secs);
     r.metric("committed_mips/total", retired as f64 / 1e6 / secs);
+    // Whether the flight recorder was armed (CMPSIM_TRACE): throughput
+    // numbers are only comparable between runs in the same tracing mode,
+    // so the artifact records which one produced it.
+    r.metric(
+        "tracing_enabled",
+        if cmpsim_harness::telemetry::trace_enabled() { 1.0 } else { 0.0 },
+    );
 
     println!("{}", throughput_summary(all_cells.iter().map(|c| &c.result)));
     let path = r.write_json().expect("write bench artifact");

@@ -21,9 +21,16 @@ pub enum SimError {
         /// Cycles observed without any instruction retiring.
         window: u64,
         /// Human-readable dump: per-core stall states and outstanding
-        /// MSHRs, in-flight L2 fetches with their waiters and directory
-        /// state, link lane backlogs, and prefetch queue depths.
+        /// MSHRs, in-flight L2 fetch counts, link lane backlogs, and
+        /// prefetch queue depths.
         diagnostic: String,
+        /// The last events from the flight recorder (rendered), oldest
+        /// first. Populated from the run's trace when `CMPSIM_TRACE` was
+        /// on; otherwise the watchdog arms an emergency recorder for one
+        /// extra quiet window so the error still carries the final
+        /// event window. Empty only when no events could be captured
+        /// (e.g. the event queue drained outright).
+        recent_events: Vec<String>,
     },
     /// The opt-in invariant checker (`CMPSIM_CHECK=1`) found corrupted
     /// simulator state.
@@ -40,12 +47,21 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Livelock { cycle, window, diagnostic } => {
+            SimError::Livelock { cycle, window, diagnostic, recent_events } => {
                 write!(
                     f,
                     "livelock at cycle {cycle}: no instruction retired for {window} cycles\n\
                      {diagnostic}"
-                )
+                )?;
+                if recent_events.is_empty() {
+                    write!(f, "\n  (no flight-recorder events captured)")
+                } else {
+                    write!(f, "\n  last {} flight-recorder events:", recent_events.len())?;
+                    for e in recent_events {
+                        write!(f, "\n    {e}")?;
+                    }
+                    Ok(())
+                }
             }
             SimError::InvariantViolation { cycle, subsystem, detail } => {
                 write!(f, "invariant violation in {subsystem} at cycle {cycle}: {detail}")

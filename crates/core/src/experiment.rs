@@ -9,6 +9,7 @@ use crate::journal::{self, Journal, JournalEntry};
 use crate::metrics;
 use crate::stats::RunResult;
 use crate::system::System;
+use cmpsim_harness::telemetry::{progress_enabled, CellState, GridProgress, Heartbeat};
 use cmpsim_harness::{run_supervised, JobOutcome, Supervisor};
 use cmpsim_trace::WorkloadSpec;
 use std::collections::HashMap;
@@ -193,22 +194,46 @@ pub fn run_grid_parallel(
     len: SimLength,
     threads: usize,
 ) -> Result<Vec<GridCell>, SimError> {
+    let variants_n = variants.len();
+    let total = specs.len() * variants_n;
+    // Progress is observability only: workers mark cells with relaxed
+    // atomics, the heartbeat renders to stderr, and nothing feeds back
+    // into the results (the determinism contract above is untouched).
+    let progress = Arc::new(GridProgress::new(total, threads.max(1).min(total.max(1))));
+    let heartbeat = progress_enabled().then(|| Heartbeat::start(Arc::clone(&progress)));
+    let progress_ref = &progress;
     let jobs: Vec<_> = specs
         .iter()
-        .flat_map(|spec| {
-            variants.iter().map(move |&variant| {
+        .enumerate()
+        .flat_map(|(si, spec)| {
+            variants.iter().enumerate().map(move |(vi, &variant)| {
+                let idx = si * variants_n + vi;
+                let progress = Arc::clone(progress_ref);
                 move || {
-                    run_variant(spec, base, variant, len).map(|result| GridCell {
+                    progress.cell_started(idx);
+                    let cell = run_variant(spec, base, variant, len).map(|result| GridCell {
                         workload: spec.name,
                         variant,
                         seed: base.seed,
                         result,
-                    })
+                    });
+                    match &cell {
+                        Ok(c) => progress.cell_finished(
+                            idx,
+                            true,
+                            c.result.events,
+                            c.result.host_nanos,
+                        ),
+                        Err(_) => progress.cell_finished(idx, false, 0, 0),
+                    }
+                    cell
                 }
             })
         })
         .collect();
-    cmpsim_harness::pool::run_indexed(threads, jobs).into_iter().collect()
+    let out = cmpsim_harness::pool::run_indexed(threads, jobs).into_iter().collect();
+    drop(heartbeat);
+    out
 }
 
 /// Policy for a [`run_grid_resilient`] sweep: how cells are supervised
@@ -308,6 +333,12 @@ where
     let cell_fn = Arc::new(cell_fn);
     let mut jobs = Vec::new();
     let mut job_slots: Vec<(usize, &'static str, Variant)> = Vec::new();
+    // Progress is observability only; journal-skipped cells count as done
+    // immediately, supervised retries show up as `retrying` (a second
+    // `cell_started` on the same slot).
+    let workers = opts.supervisor.threads.max(1);
+    let progress = Arc::new(GridProgress::new(n, workers.min(n.max(1))));
+    let heartbeat = progress_enabled().then(|| Heartbeat::start(Arc::clone(&progress)));
 
     let mut idx = 0usize;
     for spec in specs {
@@ -319,14 +350,22 @@ where
                     seed: base.seed,
                     result: result.clone(),
                 }));
+                progress.cell_skipped(idx);
             } else {
                 job_slots.push((idx, spec.name, variant));
                 let spec = spec.clone();
                 let base = base.clone();
                 let cell_fn = Arc::clone(&cell_fn);
                 let journal = journal.clone();
+                let progress = Arc::clone(&progress);
                 jobs.push(move || -> Result<RunResult, SimError> {
-                    let result = cell_fn(&spec, &base, variant)?;
+                    progress.cell_started(idx);
+                    let result = cell_fn(&spec, &base, variant);
+                    match &result {
+                        Ok(r) => progress.cell_finished(idx, true, r.events, r.host_nanos),
+                        Err(_) => progress.cell_finished(idx, false, 0, 0),
+                    }
+                    let result = result?;
                     // Journal inside the job so a later kill loses only
                     // cells that had not finished.
                     if let Some(j) = &journal {
@@ -349,6 +388,13 @@ where
 
     let outcomes = run_supervised(&opts.supervisor, jobs);
     for ((slot, workload, variant), outcome) in job_slots.into_iter().zip(outcomes) {
+        // Panicked/timed-out jobs never reached their own `cell_finished`;
+        // settle them here so the final status line accounts for every
+        // cell. (An abandoned timed-out thread may still be running, but
+        // progress is display-only state and feeds nothing back.)
+        if !matches!(progress.state(slot), CellState::Done | CellState::Failed) {
+            progress.cell_finished(slot, false, 0, 0);
+        }
         out[slot] = Some(match outcome {
             JobOutcome::Ok(Ok(result)) => {
                 Ok(GridCell { workload, variant, seed: base.seed, result })
@@ -364,6 +410,7 @@ where
             }),
         });
     }
+    drop(heartbeat);
     out.into_iter().map(|o| o.expect("every cell resolved")).collect()
 }
 

@@ -50,8 +50,10 @@ pub mod metrics;
 pub mod report;
 mod stats;
 mod system;
+pub mod telemetry;
 
 pub use config::{PrefetchMode, SystemConfig, Variant};
 pub use error::{CellError, SimError};
-pub use stats::{LevelStats, RunResult, SimStats};
+pub use stats::{LevelStats, RunResult, SimStats, TelemetrySample};
 pub use system::System;
+pub use telemetry::{TraceKind, TraceOptions};

@@ -4,9 +4,20 @@
 use crate::stats::RunResult;
 
 /// `Speedup(A) = runtime(base) / runtime(A)` (≥ 1 means A is faster).
+///
+/// Contract: a zero-runtime `enhanced` run is malformed input — no
+/// measured simulation finishes in zero cycles (the engine asserts
+/// `measure > 0`). Debug builds assert on it; release builds return
+/// `f64::INFINITY`, the mathematical limit, so a corrupt cell is
+/// glaring in a report instead of masquerading as "no change" (the old
+/// behaviour returned 1.0).
 pub fn speedup(base: &RunResult, enhanced: &RunResult) -> f64 {
+    debug_assert!(
+        enhanced.runtime() > 0,
+        "speedup: enhanced run has zero runtime (malformed RunResult)"
+    );
     if enhanced.runtime() == 0 {
-        return 1.0;
+        return f64::INFINITY;
     }
     base.runtime() as f64 / enhanced.runtime() as f64
 }
@@ -109,6 +120,23 @@ mod tests {
         let enh = run_with(1000, 0, 0);
         assert!((speedup(&base, &enh) - 2.0).abs() < 1e-12);
         assert!((speedup_pct(&base, &enh) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero runtime")]
+    fn zero_runtime_asserts_in_debug() {
+        let base = run_with(2000, 0, 0);
+        let broken = run_with(0, 0, 0);
+        let _ = speedup(&base, &broken);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_runtime_is_infinite_in_release() {
+        let base = run_with(2000, 0, 0);
+        let broken = run_with(0, 0, 0);
+        assert_eq!(speedup(&base, &broken), f64::INFINITY);
     }
 
     #[test]

@@ -150,6 +150,72 @@ impl SimStats {
     }
 }
 
+/// One cycle-sampled telemetry row: an instantaneous snapshot of the
+/// counters the paper's time-resolved analyses need (effective L2
+/// capacity, compression ratio, link utilization, MSHR pressure,
+/// per-core IPC).
+///
+/// Samples live *outside* [`SimStats`] / [`RunResult`] on purpose: they
+/// are measurement artifacts, not model outputs, so they participate in
+/// neither result equality nor the grid digest. The engine buffers them
+/// in memory and writes them as one JSONL artifact per run (see
+/// DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySample {
+    /// Simulated cycle the sample was taken at.
+    pub t: u64,
+    /// Instantaneous L2 effective-capacity ratio (1.0 when uncompressed).
+    pub l2_capacity_ratio: f64,
+    /// Running mean compression ratio over the measured samples so far.
+    pub compression_ratio: f64,
+    /// Link busy cycles as a percentage of lane-cycles elapsed since the
+    /// last stats reset (two lanes).
+    pub link_utilization_pct: f64,
+    /// Cumulative link bytes since the last stats reset.
+    pub link_total_bytes: u64,
+    /// Core-side MSHR entries currently allocated (all cores).
+    pub core_mshr_entries: u64,
+    /// L2 fetches currently in flight to memory.
+    pub l2_fetches_in_flight: u64,
+    /// Engine events dispatched so far (whole run).
+    pub events: u64,
+    /// Instructions retired so far (whole run, all cores).
+    pub retired: u64,
+    /// Per-core cumulative IPC (instructions / local cycles).
+    pub core_ipc: Vec<f64>,
+}
+
+impl TelemetrySample {
+    /// Renders the sample as one flat JSON object (no trailing newline),
+    /// the row format of `target/telemetry/*.jsonl` artifacts.
+    pub fn to_json_line(&self) -> String {
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let ipcs: Vec<String> = self.core_ipc.iter().map(|&v| f(v)).collect();
+        format!(
+            "{{\"t\":{},\"l2_capacity_ratio\":{},\"compression_ratio\":{},\
+             \"link_utilization_pct\":{},\"link_total_bytes\":{},\
+             \"core_mshr_entries\":{},\"l2_fetches_in_flight\":{},\
+             \"events\":{},\"retired\":{},\"core_ipc\":[{}]}}",
+            self.t,
+            f(self.l2_capacity_ratio),
+            f(self.compression_ratio),
+            f(self.link_utilization_pct),
+            self.link_total_bytes,
+            self.core_mshr_entries,
+            self.l2_fetches_in_flight,
+            self.events,
+            self.retired,
+            ipcs.join(",")
+        )
+    }
+}
+
 /// The outcome of one measured simulation.
 ///
 /// Alongside the model outputs (counters, cycles), a result carries the
@@ -324,5 +390,30 @@ mod tests {
     fn compression_ratio_defaults_to_one() {
         let s = SimStats::default();
         assert_eq!(s.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn telemetry_sample_renders_flat_json() {
+        let s = TelemetrySample {
+            t: 50_000,
+            l2_capacity_ratio: 1.5,
+            compression_ratio: 1.25,
+            link_utilization_pct: 12.5,
+            link_total_bytes: 4096,
+            core_mshr_entries: 7,
+            l2_fetches_in_flight: 3,
+            events: 123,
+            retired: 456,
+            core_ipc: vec![0.5, 2.0],
+        };
+        let line = s.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"t\":50000"), "{line}");
+        assert!(line.contains("\"l2_capacity_ratio\":1.5"), "{line}");
+        assert!(line.contains("\"core_ipc\":[0.5,2]"), "{line}");
+        assert!(!line.contains('\n'));
+        // Non-finite values degrade to null instead of invalid JSON.
+        let nan = TelemetrySample { link_utilization_pct: f64::NAN, ..s };
+        assert!(nan.to_json_line().contains("\"link_utilization_pct\":null"));
     }
 }

@@ -13,13 +13,15 @@
 use crate::config::{PrefetchMode, SystemConfig};
 use crate::core_model::{Core, Wait};
 use crate::error::SimError;
-use crate::stats::{RunResult, SimStats};
+use crate::stats::{RunResult, SimStats, TelemetrySample};
 use crate::system::l2::{EvictedL2, L2Cache};
+use crate::telemetry::{render_record, EngineTrace, TraceKind, TraceOptions, LIVELOCK_EVENT_WINDOW};
 use cmpsim_cache::{
     AccessKind, BlockAddr, CompressionDecision, CompressionPolicy, SetAssocCache, SetAssocConfig,
 };
 use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
 use cmpsim_harness::fastmap::{AddrMap, MemoCache};
+use cmpsim_harness::telemetry::{self as harness_telemetry, FlightRecorder, Record};
 use cmpsim_link::{Channel, Message};
 use cmpsim_mem::MemoryController;
 use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
@@ -165,6 +167,22 @@ pub struct System {
     measure_started: bool,
     measure_start: u64,
     finished: usize,
+
+    /// Workload name, kept for telemetry artifact naming.
+    workload: &'static str,
+    /// Flight recorder + series sampler; `None` when tracing is off, so
+    /// every instrumentation site is one branch on this option. Trace
+    /// state is written from simulation state and never read back —
+    /// results are bit-identical with tracing on or off.
+    trace: Option<Box<EngineTrace>>,
+    /// Mirror of `trace.next_sample` (`u64::MAX` when tracing is off or
+    /// recorder-only), so the event loop's sample check is one compare
+    /// against a hot field instead of a pointer chase per event.
+    next_sample: u64,
+    /// Whether the watchdog already armed its emergency recorder.
+    emergency_armed: bool,
+    /// Whether this run's series artifact has been written.
+    telemetry_flushed: bool,
 }
 
 impl System {
@@ -173,6 +191,8 @@ impl System {
         cfg.validate();
         spec.validate();
         let n = usize::from(cfg.cores);
+        let trace = TraceOptions::from_env().map(|o| Box::new(EngineTrace::new(&o)));
+        let next_sample = trace.as_ref().map_or(u64::MAX, |t| t.next_sample);
         let l1_cfg = SetAssocConfig::with_capacity(cfg.l1_bytes, cfg.l1_ways);
         let values = spec.value_profile(cfg.seed);
         let cores = (0..cfg.cores)
@@ -226,6 +246,11 @@ impl System {
             measure_started: false,
             measure_start: 0,
             finished: 0,
+            workload: spec.name,
+            trace,
+            next_sample,
+            emergency_armed: false,
+            telemetry_flushed: false,
             cfg,
         }
     }
@@ -233,6 +258,147 @@ impl System {
     /// The configuration this system was built with.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    // ------------------------------------------------------------ tracing
+
+    /// Overrides the `CMPSIM_TRACE` environment decision for this system:
+    /// `Some(opts)` arms the flight recorder and sampler, `None` disarms
+    /// them. Tests use this instead of mutating the (process-global,
+    /// cached) environment, which would race with parallel tests.
+    pub fn set_tracing(&mut self, opts: Option<TraceOptions>) {
+        self.trace = opts.map(|o| Box::new(EngineTrace::new(&o)));
+        self.next_sample = self.trace.as_ref().map_or(u64::MAX, |t| t.next_sample);
+        self.emergency_armed = false;
+    }
+
+    /// Whether a trace (configured or emergency) is currently armed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The flight recorder, when tracing is armed.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.trace.as_ref().map(|t| &t.recorder)
+    }
+
+    /// Series rows sampled so far (for tests and in-memory consumers).
+    pub fn telemetry_rows(&self) -> usize {
+        self.trace.as_ref().map(|t| t.series.len()).unwrap_or(0)
+    }
+
+    /// Records one flight-recorder event at simulated time `time`.
+    /// With tracing off this is a single branch on a cached option; the
+    /// recording path is outlined as cold so the ~20 instrumentation
+    /// sites cost the hot handlers a predictable not-taken branch, not
+    /// inlined ring-buffer code.
+    #[inline(always)]
+    fn trace_at(&mut self, time: u64, kind: TraceKind, unit: u8, flags: u16, arg: u32, addr: u64) {
+        if self.trace.is_some() {
+            self.trace_at_cold(time, kind, unit, flags, arg, addr);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn trace_at_cold(
+        &mut self,
+        time: u64,
+        kind: TraceKind,
+        unit: u8,
+        flags: u16,
+        arg: u32,
+        addr: u64,
+    ) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.recorder.push(Record { time, addr, kind: kind as u8, unit, flags, arg });
+        }
+    }
+
+    /// Records one flight-recorder event at the current event time.
+    #[inline]
+    fn trace_event(&mut self, kind: TraceKind, unit: u8, flags: u16, arg: u32, addr: u64) {
+        self.trace_at(self.now, kind, unit, flags, arg, addr);
+    }
+
+    /// Takes one cycle-sampled telemetry row. Only called when tracing
+    /// is armed and the sample is due; reads engine state, never mutates
+    /// anything the simulation consults.
+    #[cold]
+    #[inline(never)]
+    fn take_sample(&mut self) {
+        let elapsed = self
+            .now
+            .saturating_sub(if self.measure_started { self.measure_start } else { 0 });
+        let sample = TelemetrySample {
+            t: self.now,
+            l2_capacity_ratio: self.l2.capacity_ratio(),
+            compression_ratio: self.stats.compression_ratio(),
+            link_utilization_pct: self.link.utilization_pct(elapsed),
+            link_total_bytes: self.link.stats().total_bytes,
+            core_mshr_entries: self.core_mshrs.iter().map(|m| m.len() as u64).sum(),
+            l2_fetches_in_flight: self.l2_mshrs.len() as u64,
+            events: self.dispatched,
+            retired: self.total_retired(),
+            core_ipc: self
+                .cores
+                .iter()
+                .map(|slot| {
+                    slot.as_ref()
+                        .map(|c| {
+                            if c.cycle == 0 {
+                                0.0
+                            } else {
+                                c.insts as f64 / c.cycle as f64
+                            }
+                        })
+                        .unwrap_or(0.0)
+                })
+                .collect(),
+        };
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.series.push(sample.to_json_line());
+            t.next_sample = self.now.saturating_add(t.sample_period);
+            self.next_sample = t.next_sample;
+        }
+    }
+
+    /// Writes the buffered series artifact (header + samples) to the
+    /// trace's output directory, once per run. Failures are reported to
+    /// stderr and never affect the simulation result.
+    fn flush_telemetry(&mut self) {
+        if self.telemetry_flushed {
+            return;
+        }
+        let Some(t) = self.trace.as_deref() else { return };
+        let Some(dir) = t.out_dir.clone() else { return };
+        if t.series.is_empty() {
+            return;
+        }
+        self.telemetry_flushed = true;
+        let seq = harness_telemetry::next_artifact_seq();
+        let path = dir.join(format!("{}-{seq}.jsonl", self.workload));
+        let header = format!(
+            "{{\"schema\":\"cmpsim-telemetry-v1\",\"workload\":{},\"cores\":{},\
+             \"seed\":{},\"cache_compression\":{},\"link_compression\":{},\
+             \"prefetch\":{},\"sample_period\":{},\"clock_ghz\":{},\
+             \"ring_dropped\":{}}}",
+            harness_telemetry::json_escape(self.workload),
+            self.cfg.cores,
+            self.cfg.seed,
+            self.cfg.cache_compression,
+            self.cfg.link_compression,
+            harness_telemetry::json_escape(&format!("{:?}", self.cfg.prefetch)),
+            t.sample_period,
+            self.cfg.clock_ghz,
+            t.recorder.dropped(),
+        );
+        let body = format!("{header}\n{}", t.series.to_jsonl());
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, body))
+        {
+            eprintln!("cmpsim: telemetry write to {} failed: {e}", path.display());
+        }
     }
 
     // ---------------------------------------------------------------- run
@@ -252,6 +418,19 @@ impl System {
     ///   are enabled (`cfg.check_invariants` / `CMPSIM_CHECK=1`) and one
     ///   fails.
     pub fn run(
+        &mut self,
+        warmup_per_core: u64,
+        measure_per_core: u64,
+    ) -> Result<RunResult, SimError> {
+        let result = self.run_inner(warmup_per_core, measure_per_core);
+        // Series artifacts are flushed on success *and* failure: a
+        // partial timeline of a livelocked run is exactly the forensic
+        // record the trace exists for.
+        self.flush_telemetry();
+        result
+    }
+
+    fn run_inner(
         &mut self,
         warmup_per_core: u64,
         measure_per_core: u64,
@@ -279,6 +458,9 @@ impl System {
             let idx = (key as u64 & ((1 << SLOT_BITS) - 1)) as usize;
             self.now = (key >> 64) as u64;
             self.watchdog_tick()?;
+            if self.now >= self.next_sample {
+                self.take_sample();
+            }
             let ev = self.event_pool[idx];
             // The slot is dead as soon as the event is read; recycle it
             // before dispatch so the handlers' own schedules can reuse it.
@@ -313,6 +495,18 @@ impl System {
         }
         let retired = self.total_retired();
         if retired == self.last_progress_insts {
+            if self.trace.is_none() && !self.emergency_armed {
+                // Tracing is off, so no events of the stalled window were
+                // captured. Arm a recorder-only emergency trace and give
+                // the watchdog one more quiet window: the run still fails
+                // (nothing here feeds the simulation), but the eventual
+                // error carries the final window of events.
+                self.emergency_armed = true;
+                self.trace = Some(Box::new(EngineTrace::emergency()));
+                self.next_sample = u64::MAX; // recorder-only: never sample
+                self.last_progress_now = self.now;
+                return Ok(());
+            }
             return Err(self.livelock_error(self.now - self.last_progress_now));
         }
         self.last_progress_insts = retired;
@@ -347,32 +541,12 @@ impl System {
                 );
             }
         }
-        let mut addrs: Vec<BlockAddr> = self.l2_mshrs.keys().map(BlockAddr).collect();
-        addrs.sort_by_key(|a| a.0);
-        let _ = writeln!(d, "  l2 fetches in flight: {}", addrs.len());
-        for a in addrs.iter().take(4) {
-            let m = self.l2_mshrs.get(a.0).expect("key just listed");
-            let waiters: Vec<String> = m
-                .waiters
-                .iter()
-                .map(|w| {
-                    format!(
-                        "core{} {:?}{}",
-                        w.core,
-                        w.l1,
-                        if w.store { " store" } else { "" }
-                    )
-                })
-                .collect();
-            let _ = writeln!(
-                d,
-                "  in-flight block 0x{:x}: waiters=[{}] prefetch_core={:?} dir={:?}",
-                a.0,
-                waiters.join(", "),
-                m.prefetch_core,
-                self.l2.dir_of(*a)
-            );
-        }
+        let _ = writeln!(
+            d,
+            "  l2 fetches in flight: {} (resident lines: {})",
+            self.l2_mshrs.len(),
+            self.l2.valid_lines()
+        );
         let _ = writeln!(
             d,
             "  link backlog [request, data] = {:?} cycles",
@@ -383,7 +557,34 @@ impl System {
             "  l2 bank busy (cycles past now): {:?}",
             self.bank_free.iter().map(|b| b.saturating_sub(self.now)).collect::<Vec<_>>()
         );
-        SimError::Livelock { cycle: self.now, window, diagnostic: d }
+        // The flight recorder replaces the old bespoke in-flight walk:
+        // the last events *are* the stalled window's history (who missed,
+        // what the link carried, which throttles moved).
+        let recent_events = match &self.trace {
+            Some(t) => {
+                if t.emergency {
+                    let _ = write!(
+                        d,
+                        "\n  flight recorder: armed on demand after the first quiet window"
+                    );
+                }
+                if t.recorder.dropped() > 0 {
+                    let _ = write!(
+                        d,
+                        "\n  flight recorder: {} older events dropped (ring capacity {})",
+                        t.recorder.dropped(),
+                        t.recorder.capacity()
+                    );
+                }
+                t.recorder
+                    .last(LIVELOCK_EVENT_WINDOW)
+                    .iter()
+                    .map(render_record)
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+        SimError::Livelock { cycle: self.now, window, diagnostic: d, recent_events }
     }
 
     /// Full structural invariant sweep (sampled from `run`): VSC segment
@@ -548,6 +749,7 @@ impl System {
         }
         core.cycle = core.cycle.max(self.now);
         core.waiting = Wait::Ready;
+        let insts_before = core.insts;
 
         loop {
             if core.insts >= core.quota {
@@ -597,6 +799,30 @@ impl System {
             };
             if !keep_going {
                 break;
+            }
+        }
+        if self.trace.is_some() {
+            let retired = core.insts - insts_before;
+            if retired > 0 {
+                self.trace_at(
+                    core.cycle,
+                    TraceKind::Retire,
+                    c as u8,
+                    0,
+                    retired.min(u64::from(u32::MAX)) as u32,
+                    0,
+                );
+            }
+            let (code, addr) = match core.waiting {
+                Wait::Ready => (0u16, 0u64),
+                Wait::IFetch(a) => (1, a.0),
+                Wait::Load(a) => (2, a.0),
+                Wait::Rob => (3, 0),
+                Wait::Mshr => (4, 0),
+                Wait::Done => (5, 0),
+            };
+            if code != 0 {
+                self.trace_at(core.cycle, TraceKind::Stall, c as u8, code, 0, addr);
             }
         }
         self.cores[c] = Some(core);
@@ -658,8 +884,9 @@ impl System {
             self.stats.l1i.hits += 1;
             if first {
                 self.stats.l1i.prefetch_hits += 1;
-                if self.adaptive_pf() {
-                    self.th_l1i[c].record_useful();
+                if self.adaptive_pf() && self.th_l1i[c].record_useful() {
+                    let deg = u32::from(self.th_l1i[c].degree());
+                    self.trace_at(core.cycle, TraceKind::AdaptiveMove, c as u8, 0b100, deg, line.0);
                 }
             }
             let deg = self.l1_degree(L1Kind::I, c);
@@ -675,6 +902,7 @@ impl System {
             self.stats.l1i.accesses += 1;
             self.stats.l1i.demand_misses += 1;
             m.prefetched = false; // partial hit: demand takes over
+            self.trace_at(core.cycle, TraceKind::L1Miss, c as u8, 0b100, 0, line.0);
             core.waiting = Wait::IFetch(line);
             return false;
         }
@@ -688,6 +916,7 @@ impl System {
         }
         self.stats.l1i.accesses += 1;
         self.stats.l1i.demand_misses += 1;
+        self.trace_at(core.cycle, TraceKind::L1Miss, c as u8, 0, 0, line.0);
         let deg = self.l1_degree(L1Kind::I, c);
         let burst = if deg > 0 { self.pf_l1i[c].on_miss(line, deg) } else { Vec::new() };
         self.core_mshrs[c].insert(
@@ -730,8 +959,9 @@ impl System {
             self.stats.l1d.hits += 1;
             if first {
                 self.stats.l1d.prefetch_hits += 1;
-                if self.adaptive_pf() {
-                    self.th_l1d[c].record_useful();
+                if self.adaptive_pf() && self.th_l1d[c].record_useful() {
+                    let deg = u32::from(self.th_l1d[c].degree());
+                    self.trace_at(core.cycle, TraceKind::AdaptiveMove, c as u8, 0b101, deg, line.0);
                 }
             }
             if needs_upgrade
@@ -739,6 +969,7 @@ impl System {
                 && core.outstanding < self.cfg.mshrs_per_core
             {
                 self.stats.coherence.upgrades += 1;
+                self.trace_at(core.cycle, TraceKind::Coherence, c as u8, 3, 0, line.0);
                 self.core_mshrs[c].insert(
                     line.0,
                     CoreMshr { l1: L1Kind::D, prefetched: false, store: true, load_seqs: Vec::new() },
@@ -778,6 +1009,14 @@ impl System {
                 m.load_seqs.push(seq);
                 core.track_load(seq);
             }
+            self.trace_at(
+                core.cycle,
+                TraceKind::L1Miss,
+                c as u8,
+                0b101 | (u16::from(store) << 1),
+                0,
+                line.0,
+            );
             if dependent && !store {
                 core.waiting = Wait::Load(line);
                 return false;
@@ -794,6 +1033,7 @@ impl System {
         }
         self.stats.l1d.accesses += 1;
         self.stats.l1d.demand_misses += 1;
+        self.trace_at(core.cycle, TraceKind::L1Miss, c as u8, 1 | (u16::from(store) << 1), 0, line.0);
         let deg = self.l1_degree(L1Kind::D, c);
         let burst = if deg > 0 { self.pf_l1d[c].on_miss(line, deg) } else { Vec::new() };
         let mut load_seqs = Vec::new();
@@ -842,6 +1082,17 @@ impl System {
             L1Kind::I => self.stats.l1i.prefetches_issued += 1,
             L1Kind::D => self.stats.l1d.prefetches_issued += 1,
         }
+        self.trace_at(
+            at,
+            TraceKind::PrefetchIssue,
+            c as u8,
+            match kind {
+                L1Kind::I => 0,
+                L1Kind::D => 1,
+            },
+            0,
+            addr.0,
+        );
         self.core_mshrs[c]
             .insert(addr.0, CoreMshr { l1: kind, prefetched: true, store: false, load_seqs: Vec::new() });
         core.outstanding += 1;
@@ -897,13 +1148,21 @@ impl System {
             // it for any demand-side origin.
             if demandish && info.prefetch_first_touch {
                 self.stats.l2.prefetch_hits += 1;
-                if self.adaptive_pf() {
-                    self.th_l2.record_useful();
+                if self.adaptive_pf() && self.th_l2.record_useful() {
+                    let deg = u32::from(self.th_l2.degree());
+                    self.trace_event(TraceKind::AdaptiveMove, c as u8, 0b110, deg, addr.0);
                 }
             }
             if origin == Origin::Demand {
                 self.stats.l2.accesses += 1;
                 self.stats.l2.hits += 1;
+                self.trace_event(
+                    TraceKind::L2Hit,
+                    c as u8,
+                    u16::from(info.compressed) | (u16::from(info.prefetch_first_touch) << 1),
+                    0,
+                    addr.0,
+                );
                 if info.compressed {
                     self.stats.l2_compressed_hits += 1;
                 }
@@ -956,6 +1215,7 @@ impl System {
         if origin == Origin::Demand {
             self.stats.l2.accesses += 1;
             self.stats.l2.demand_misses += 1;
+            self.trace_event(TraceKind::L2Miss, c as u8, u16::from(info.victim_tag), 0, addr.0);
             if info.victim_tag {
                 self.stats.l2_victim_tag_hits += 1;
                 if self.cfg.cache_compression && self.cfg.adaptive_compression {
@@ -964,7 +1224,10 @@ impl System {
             }
             if self.adaptive_pf() && self.l2.harmful_prefetch_signal(addr) {
                 self.stats.harmful_prefetch_detections += 1;
-                self.th_l2.record_bad();
+                if self.th_l2.record_bad() {
+                    let deg = u32::from(self.th_l2.degree());
+                    self.trace_event(TraceKind::AdaptiveMove, c as u8, 0b010, deg, addr.0);
+                }
             }
         }
         if demandish {
@@ -1009,7 +1272,9 @@ impl System {
             .get(addr.0)
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
-        let tr = self.link.send(self.now, &Message::read_request(addr, for_prefetch));
+        let msg = Message::read_request(addr, for_prefetch);
+        let tr = self.link.send(self.now, &msg);
+        self.trace_event(TraceKind::LinkFlit, 0, 0, msg.size_bytes() as u32, addr.0);
         self.schedule(tr.done + self.cfg.mem_latency, Event::MemResponse { addr });
     }
 
@@ -1027,9 +1292,9 @@ impl System {
             .get(addr.0)
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
-        let tr = self
-            .link
-            .send(self.now, &Message::data_response(addr, segments, for_prefetch));
+        let msg = Message::data_response(addr, segments, for_prefetch);
+        let tr = self.link.send(self.now, &msg);
+        self.trace_event(TraceKind::LinkFlit, 0, 1, msg.size_bytes() as u32, addr.0);
         self.schedule(tr.done, Event::L2Fill { addr });
     }
 
@@ -1041,6 +1306,7 @@ impl System {
         let evicted = self.l2.fill(addr, seg_store, prefetched_fill, DirEntry::new());
         if prefetched_fill {
             self.stats.l2.prefetch_fills += 1;
+            self.trace_event(TraceKind::PrefetchFill, 0, 2, u32::from(seg_store), addr.0);
         }
         for e in evicted {
             self.handle_l2_eviction(e);
@@ -1089,15 +1355,19 @@ impl System {
         }
         if e.was_unused_prefetch {
             self.stats.l2.useless_prefetch_evictions += 1;
-            if self.adaptive_pf() {
-                self.th_l2.record_bad();
+            if self.adaptive_pf() && self.th_l2.record_bad() {
+                let deg = u32::from(self.th_l2.degree());
+                self.trace_event(TraceKind::AdaptiveMove, 0, 0b010, deg, e.addr.0);
             }
         }
         if e.dir.is_dirty() {
             let seg = self.link_segments(e.addr);
-            self.link.send(self.now, &Message::writeback(e.addr, seg));
+            let msg = Message::writeback(e.addr, seg);
+            self.link.send(self.now, &msg);
+            self.trace_event(TraceKind::LinkFlit, 0, 2, msg.size_bytes() as u32, e.addr.0);
             self.mem.write(e.addr, seg);
             self.stats.mem_writes += 1;
+            self.trace_event(TraceKind::MemWrite, 0, 0, u32::from(seg), e.addr.0);
         }
     }
 
@@ -1106,6 +1376,14 @@ impl System {
     fn apply_probes(&mut self, addr: BlockAddr, actions: &[DirAction], inclusion: bool) {
         for a in actions {
             let t = a.target().index();
+            if self.trace.is_some() {
+                let flags = match a {
+                    DirAction::Invalidate(_) => 0,
+                    DirAction::RecallDowngrade(_) => 1,
+                    DirAction::RecallInvalidate(_) => 2,
+                };
+                self.trace_event(TraceKind::Coherence, t as u8, flags, u32::from(inclusion), addr.0);
+            }
             match a {
                 DirAction::Invalidate(_) | DirAction::RecallInvalidate(_) => {
                     let hit = self.l1d[t].invalidate(addr).is_some()
@@ -1151,6 +1429,7 @@ impl System {
 
     fn do_issue_l2_prefetch(&mut self, c: usize, addr: BlockAddr, at: u64) {
         self.stats.l2.prefetches_issued += 1;
+        self.trace_at(at.max(self.now), TraceKind::PrefetchIssue, c as u8, 2, 0, addr.0);
         if let Some(core) = self.cores[c].as_mut() {
             core.outstanding += 1;
         }
@@ -1208,6 +1487,13 @@ impl System {
             self.complete_core_mshr(c, addr);
             return;
         };
+        if prefetched {
+            let flags = match l1 {
+                L1Kind::I => 0,
+                L1Kind::D => 1,
+            };
+            self.trace_event(TraceKind::PrefetchFill, c as u8, flags, 0, addr.0);
+        }
         let victim = match l1 {
             L1Kind::I => {
                 self.stats.l1i.prefetch_fills += u64::from(prefetched);
@@ -1225,9 +1511,18 @@ impl System {
                     L1Kind::D => self.stats.l1d.useless_prefetch_evictions += 1,
                 }
                 if self.adaptive_pf() {
-                    match l1 {
-                        L1Kind::I => self.th_l1i[c].record_bad(),
-                        L1Kind::D => self.th_l1d[c].record_bad(),
+                    let (moved, flags, deg) = match l1 {
+                        L1Kind::I => {
+                            let m = self.th_l1i[c].record_bad();
+                            (m, 0b000, u32::from(self.th_l1i[c].degree()))
+                        }
+                        L1Kind::D => {
+                            let m = self.th_l1d[c].record_bad();
+                            (m, 0b001, u32::from(self.th_l1d[c].degree()))
+                        }
+                    };
+                    if moved {
+                        self.trace_event(TraceKind::AdaptiveMove, c as u8, flags, deg, v.addr.0);
                     }
                 }
             }
@@ -1241,9 +1536,12 @@ impl System {
                     // dirty victim goes straight to memory.
                     if v.meta == MsiState::Modified {
                         let seg = self.link_segments(v.addr);
-                        self.link.send(self.now, &Message::writeback(v.addr, seg));
+                        let msg = Message::writeback(v.addr, seg);
+                        self.link.send(self.now, &msg);
+                        self.trace_event(TraceKind::LinkFlit, 0, 2, msg.size_bytes() as u32, v.addr.0);
                         self.mem.write(v.addr, seg);
                         self.stats.mem_writes += 1;
+                        self.trace_event(TraceKind::MemWrite, 0, 0, u32::from(seg), v.addr.0);
                     }
                 }
             }

@@ -173,28 +173,21 @@ impl L2Cache {
         }
     }
 
+    /// Lines currently resident with data, in either organization.
+    /// Linear in the cache — used by the telemetry sampler, which runs
+    /// every `sample_period` cycles and only when tracing is enabled.
+    pub fn valid_lines(&self) -> usize {
+        match self {
+            L2Cache::Classic(c) => c.valid_lines(),
+            L2Cache::Vsc(c) => c.valid_lines(),
+        }
+    }
+
     /// Effective-capacity ratio sample (1.0 for the classic cache).
     pub fn capacity_ratio(&self) -> f64 {
         match self {
             L2Cache::Classic(_) => 1.0,
             L2Cache::Vsc(c) => c.effective_capacity_ratio(),
-        }
-    }
-
-    /// Directory entry of a resident line, without LRU side effects.
-    /// Linear in the cache for the VSC organization — diagnostics only.
-    pub fn dir_of(&self, addr: BlockAddr) -> Option<DirEntry> {
-        match self {
-            L2Cache::Classic(c) => c.peek(addr).copied(),
-            L2Cache::Vsc(c) => {
-                let mut found = None;
-                c.for_each_valid(|a, m, _| {
-                    if a == addr {
-                        found = Some(*m);
-                    }
-                });
-                found
-            }
         }
     }
 
@@ -275,6 +268,18 @@ mod tests {
             assert!(info.prefetch_first_touch);
             assert_eq!(info.compressed, use_vsc, "classic never reports compressed");
             assert_eq!(l2.segments_of(a), Some(if use_vsc { 3 } else { 8 }));
+        }
+    }
+
+    #[test]
+    fn valid_lines_counts_both_organizations() {
+        for use_vsc in [false, true] {
+            let mut l2 = L2Cache::new(64 * 1024, use_vsc);
+            assert_eq!(l2.valid_lines(), 0);
+            for i in 0..5u64 {
+                l2.fill(BlockAddr(i), 4, false, DirEntry::new());
+            }
+            assert_eq!(l2.valid_lines(), 5, "vsc={use_vsc}");
         }
     }
 

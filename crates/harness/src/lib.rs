@@ -23,6 +23,11 @@
 //!   engine's hot paths: an open-addressing [`fastmap::AddrMap`] for
 //!   MSHR-style exact maps and a bounded [`fastmap::MemoCache`] for
 //!   memoizing pure functions of block addresses.
+//! - [`telemetry`] — observability plumbing: a fixed-capacity flight
+//!   recorder of packed sim events (`CMPSIM_TRACE`), buffered JSONL
+//!   series artifacts under `target/telemetry/`, and a stderr heartbeat
+//!   for live grid progress (`CMPSIM_PROGRESS`). Pure measurement: none
+//!   of it feeds back into simulation results.
 //!
 //! Everything here is deterministic for a fixed seed: property tests
 //! replay exactly, and the pool never changes *what* is computed, only
@@ -36,6 +41,7 @@ pub mod pool;
 pub mod prop;
 mod rng;
 pub mod supervise;
+pub mod telemetry;
 
 pub use gen::Gen;
 pub use rng::Rng;

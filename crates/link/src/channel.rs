@@ -213,6 +213,18 @@ impl Channel {
         }
         self.stats.total_bytes as f64 / elapsed_cycles as f64 * f64::from(self.clock_ghz)
     }
+
+    /// Fraction of the link's aggregate capacity (both lanes) spent busy
+    /// over `elapsed_cycles`, as a percentage in `[0, 100]`. Queueing can
+    /// push accumulated busy cycles past the elapsed window on one lane,
+    /// so the value is clamped. Telemetry input; 0 for an empty window.
+    pub fn utilization_pct(&self, elapsed_cycles: u64) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let capacity = 2.0 * elapsed_cycles as f64;
+        (self.stats.busy_cycles as f64 / capacity * 100.0).clamp(0.0, 100.0)
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +327,17 @@ mod tests {
         assert_eq!(link.lane_backlog(0), [2, 18]);
         assert_eq!(link.lane_backlog(10), [0, 8]);
         assert_eq!(link.lane_backlog(100), [0, 0]);
+    }
+
+    #[test]
+    fn utilization_spans_both_lanes_and_clamps() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        assert_eq!(link.utilization_pct(0), 0.0);
+        assert_eq!(link.utilization_pct(100), 0.0);
+        link.send(0, &Message::data_response(BlockAddr(0), 8, false)); // 18 busy cycles
+        assert!((link.utilization_pct(18) - 50.0).abs() < 1e-9, "one of two lanes busy");
+        link.send(0, &Message::data_response(BlockAddr(1), 8, false)); // queued: 36 total
+        assert_eq!(link.utilization_pct(10), 100.0, "clamped when busy exceeds window");
     }
 
     #[test]

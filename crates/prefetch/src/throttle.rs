@@ -22,13 +22,15 @@
 pub struct PrefetchThrottle {
     counter: u8,
     max: u8,
+    ups: u64,
+    downs: u64,
 }
 
 impl PrefetchThrottle {
     /// A throttle saturating at `max` (the cache's startup-prefetch
     /// ceiling: 6 for L1, 25 for L2), starting saturated.
     pub fn new(max: u8) -> Self {
-        PrefetchThrottle { counter: max, max }
+        PrefetchThrottle { counter: max, max, ups: 0, downs: 0 }
     }
 
     /// Current startup-prefetch degree; 0 disables the prefetcher.
@@ -42,13 +44,37 @@ impl PrefetchThrottle {
     }
 
     /// Useful prefetch observed (first demand hit on a prefetched line).
-    pub fn record_useful(&mut self) {
-        self.counter = (self.counter + 1).min(self.max);
+    /// Returns true when the counter actually moved (was not saturated).
+    pub fn record_useful(&mut self) -> bool {
+        if self.counter < self.max {
+            self.counter += 1;
+            self.ups += 1;
+            true
+        } else {
+            false
+        }
     }
 
-    /// Useless or harmful prefetch observed.
-    pub fn record_bad(&mut self) {
-        self.counter = self.counter.saturating_sub(1);
+    /// Useless or harmful prefetch observed. Returns true when the
+    /// counter actually moved (was not already zero).
+    pub fn record_bad(&mut self) -> bool {
+        if self.counter > 0 {
+            self.counter -= 1;
+            self.downs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Counter increments that actually moved the degree up.
+    pub fn ups(&self) -> u64 {
+        self.ups
+    }
+
+    /// Counter decrements that actually moved the degree down.
+    pub fn downs(&self) -> u64 {
+        self.downs
     }
 }
 
@@ -75,6 +101,18 @@ mod tests {
         assert!(t.is_disabled());
         t.record_bad();
         assert_eq!(t.degree(), 0, "never underflows");
+    }
+
+    #[test]
+    fn counts_only_moves_that_change_the_degree() {
+        let mut t = PrefetchThrottle::new(2);
+        assert!(!t.record_useful(), "already saturated");
+        assert!(t.record_bad());
+        assert!(t.record_bad());
+        assert!(!t.record_bad(), "already zero");
+        assert!(t.record_useful());
+        assert_eq!(t.ups(), 1);
+        assert_eq!(t.downs(), 2);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn throttle_stays_in_range() {
     check("throttle_stays_in_range", &cases, |(max, events)| {
         let mut t = PrefetchThrottle::new(*max);
         for &good in events {
-            if good { t.record_useful() } else { t.record_bad() }
+            let _ = if good { t.record_useful() } else { t.record_bad() };
             prop_assert!(t.degree() <= *max);
         }
         Ok(())

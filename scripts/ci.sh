@@ -32,6 +32,22 @@ echo "== hot-path bit-identity gate (run_grid_serial vs seed golden) =="
 # word-parallel FPC sizing) must never change simulation results.
 cargo run -q --release --offline --example grid_digest
 
+echo "== tracing-inertness gate (grid digest under CMPSIM_TRACE=1) =="
+# The flight recorder and cycle sampler must be observe-only: the same
+# digest gate, re-run with tracing armed, must match the golden recorded
+# without tracing. Telemetry artifacts land in a scratch dir and one is
+# schema-checked by the timeline consumer.
+trace_dir=$(mktemp -d)
+CMPSIM_TRACE=1 CMPSIM_TELEMETRY_DIR="$trace_dir" \
+    cargo run -q --release --offline --example grid_digest
+ls "$trace_dir"/*.jsonl > /dev/null || {
+    echo "traced grid left no telemetry artifacts in $trace_dir" >&2
+    exit 1
+}
+cargo run -q --release --offline --example timeline -- --check \
+    "$(ls "$trace_dir"/*.jsonl | head -1)"
+rm -rf "$trace_dir"
+
 echo "== throughput baseline (smoke grid, JSON artifact) =="
 # Engine events/sec and committed MIPS per variant on the smoke grid;
 # the artifact lands in target/bench/throughput.json so CI runs leave a

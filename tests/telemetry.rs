@@ -1,0 +1,171 @@
+//! Observability guarantees for the flight recorder and the sampled
+//! telemetry series:
+//!
+//! - tracing is **inert**: a traced run produces a `RunResult`
+//!   bit-identical to the untraced run (property-tested over the smoke
+//!   grid of workloads × variants × seeds);
+//! - the disabled path records nothing and allocates nothing;
+//! - an undersized ring wraps and accounts every overflowed record;
+//! - a tripped livelock watchdog carries the last recorder events when
+//!   tracing was armed up front (the emergency-recorder path is covered
+//!   in `tests/resilience.rs`);
+//! - the sampler writes a schema-valid `cmpsim-telemetry-v1` JSONL
+//!   artifact.
+
+use cmpsim::{workload, SimError, System, SystemConfig, TraceOptions, Variant};
+use cmpsim_harness::{gen, prop, prop_assert, prop_assert_eq};
+use std::path::PathBuf;
+
+const WARMUP: u64 = 1_000;
+const MEASURE: u64 = 4_000;
+
+fn smoke_config(seed: u64, variant: Variant) -> SystemConfig {
+    variant.apply(SystemConfig::paper_default(2).with_seed(seed))
+}
+
+/// A fast-sampling in-memory trace so even smoke-length runs collect
+/// both recorder events and series rows.
+fn fast_trace() -> TraceOptions {
+    TraceOptions { sample_period: 500, ..TraceOptions::default() }.in_memory()
+}
+
+/// The headline determinism contract: `CMPSIM_TRACE` observes, never
+/// perturbs. Every counter and every f64 in `RunResult` must match
+/// between a traced and an untraced run of the same cell.
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    let names: Vec<&str> =
+        cmpsim::all_workloads().iter().map(|s| s.name).collect();
+    let cases = gen::triple(
+        gen::select(names),
+        gen::select(Variant::all().to_vec()),
+        gen::u64s(1..1_000_000),
+    );
+    // Each case runs two full simulations; cap the default 128 cases at
+    // a smoke-grid-sized sample (CMPSIM_PT_CASES can still lower it).
+    let mut cfg = prop::Config::from_env();
+    cfg.cases = cfg.cases.min(24);
+    prop::check_with(cfg, "traced_run_is_bit_identical_to_untraced", &cases, |case| {
+        let &(name, variant, seed) = case;
+        let spec = workload(name).unwrap();
+
+        let mut plain = System::new(smoke_config(seed, variant), &spec);
+        plain.set_tracing(None);
+        let untraced = plain.run(WARMUP, MEASURE).map_err(|e| e.to_string())?;
+
+        let mut traced = System::new(smoke_config(seed, variant), &spec);
+        traced.set_tracing(Some(fast_trace()));
+        let result = traced.run(WARMUP, MEASURE).map_err(|e| e.to_string())?;
+
+        prop_assert_eq!(&untraced, &result, "tracing perturbed the simulation");
+        let recorded = traced.flight_recorder().map(|r| r.len()).unwrap_or(0);
+        prop_assert!(recorded > 0, "traced run captured no events");
+        prop_assert!(traced.telemetry_rows() > 0, "sampler produced no rows");
+        Ok(())
+    });
+}
+
+#[test]
+fn disabled_path_records_nothing() {
+    let spec = workload("zeus").unwrap();
+    let mut sys = System::new(smoke_config(7, Variant::PrefetchCompression), &spec);
+    sys.set_tracing(None);
+    assert!(!sys.tracing_enabled());
+    sys.run(WARMUP, MEASURE).unwrap();
+    assert!(sys.flight_recorder().is_none(), "no recorder without tracing");
+    assert_eq!(sys.telemetry_rows(), 0, "no series rows without tracing");
+}
+
+/// An undersized ring stays at capacity, keeps only the newest events,
+/// and accounts everything it had to overwrite.
+#[test]
+fn tiny_ring_wraps_and_accounts_overflow() {
+    let spec = workload("oltp").unwrap();
+    let mut sys = System::new(smoke_config(3, Variant::PrefetchCompression), &spec);
+    sys.set_tracing(Some(TraceOptions {
+        ring_capacity: 16,
+        ..fast_trace()
+    }));
+    sys.run(WARMUP, MEASURE).unwrap();
+    let rec = sys.flight_recorder().expect("tracing armed");
+    assert_eq!(rec.len(), 16, "ring holds exactly its capacity");
+    assert!(rec.dropped() > 0, "a smoke run must overflow a 16-entry ring");
+    // The retained window is the newest events: strictly late in the run.
+    let newest = rec.last(16);
+    assert_eq!(newest.len(), 16);
+    assert!(newest[0].time > 0, "wrapped ring should only hold late events");
+}
+
+/// With tracing armed up front, a livelock error reports the real
+/// flight-recorder tail, not the emergency recorder's.
+#[test]
+fn livelock_reports_recorder_tail_when_tracing_armed() {
+    let spec = workload("zeus").unwrap();
+    let cfg = smoke_config(11, Variant::Base).with_livelock_budget(50);
+    let mut sys = System::new(cfg, &spec);
+    sys.set_tracing(Some(fast_trace()));
+    match sys.run(1_000, 4_000) {
+        Err(SimError::Livelock { recent_events, diagnostic, .. }) => {
+            assert!(!recent_events.is_empty(), "recorder tail must be attached");
+            assert!(
+                recent_events.iter().all(|e| e.starts_with("cycle ")),
+                "events should be rendered records: {recent_events:?}"
+            );
+            assert!(
+                !diagnostic.contains("armed on demand"),
+                "pre-armed tracing must not claim the emergency recorder"
+            );
+        }
+        other => panic!("expected Livelock with a 50-cycle budget, got {other:?}"),
+    }
+}
+
+/// The sampler's on-disk artifact: one `cmpsim-telemetry-v1` header
+/// line, then one flat-JSON row per sample with monotone `t`.
+#[test]
+fn sampler_writes_schema_valid_jsonl() {
+    let dir = std::env::temp_dir()
+        .join(format!("cmpsim-telemetry-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = workload("apache").unwrap();
+    let mut sys = System::new(smoke_config(5, Variant::BothCompression), &spec);
+    sys.set_tracing(Some(TraceOptions {
+        sample_period: 500,
+        out_dir: Some(dir.clone()),
+        ..TraceOptions::default()
+    }));
+    sys.run(WARMUP, MEASURE).unwrap();
+
+    let artifacts: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("telemetry dir created")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    assert_eq!(artifacts.len(), 1, "one run, one artifact: {artifacts:?}");
+    let text = std::fs::read_to_string(&artifacts[0]).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "header plus at least one sample:\n{text}");
+
+    let header = lines[0];
+    assert!(header.contains("\"schema\":\"cmpsim-telemetry-v1\""), "{header}");
+    assert!(header.contains("\"workload\":\"apache\""), "{header}");
+    assert!(header.contains("\"sample_period\":500"), "{header}");
+
+    let mut last_t = -1.0f64;
+    for row in &lines[1..] {
+        for key in ["\"t\":", "\"l2_capacity_ratio\":", "\"link_utilization_pct\":", "\"core_ipc\":["] {
+            assert!(row.contains(key), "row missing {key}: {row}");
+        }
+        let t: f64 = row
+            .split("\"t\":")
+            .nth(1)
+            .and_then(|r| r.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable t in row: {row}"));
+        assert!(t > last_t, "sample times must be strictly increasing: {row}");
+        last_t = t;
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
