@@ -42,6 +42,7 @@ fn main() {
             sets: 64,
             tags_per_set: 8,
             segments_per_set: 32,
+            line_segments: 8,
         });
         let mut acc = 0u64;
         for i in 0..4096u64 {

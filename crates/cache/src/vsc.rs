@@ -27,16 +27,34 @@ pub struct VscConfig {
     pub tags_per_set: usize,
     /// Data segments per set (32 in the paper: 4 lines × 8 segments).
     pub segments_per_set: u32,
+    /// Segments an *uncompressed* line occupies under the configured
+    /// codec (8 for every shipped codec's 64-byte/8-byte-segment frame).
+    /// Fill sizes and the invariant checker validate against this, not a
+    /// hard-coded FPC constant.
+    pub line_segments: u8,
 }
 
 impl VscConfig {
     /// The paper's compressed-L2 geometry for a given data capacity:
-    /// 8 tags per set, data space for 4 uncompressed lines per set.
+    /// 8 tags per set, data space for 4 uncompressed lines per set, FPC's
+    /// 8-segment line frame.
     ///
     /// # Panics
     ///
     /// Panics if `capacity_bytes` does not yield a power-of-two set count.
     pub fn compressed_l2(capacity_bytes: usize) -> Self {
+        Self::compressed_l2_for(capacity_bytes, MAX_SEGMENTS)
+    }
+
+    /// [`compressed_l2`](Self::compressed_l2) generalized to a codec
+    /// whose uncompressed line occupies `line_segments` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_segments` is zero or the set count is not a power
+    /// of two.
+    pub fn compressed_l2_for(capacity_bytes: usize, line_segments: u8) -> Self {
+        assert!(line_segments > 0, "a line needs at least one segment");
         let lines = capacity_bytes / LINE_BYTES;
         let data_lines_per_set = 4;
         let sets = lines / data_lines_per_set;
@@ -44,13 +62,14 @@ impl VscConfig {
         VscConfig {
             sets,
             tags_per_set: 8,
-            segments_per_set: (data_lines_per_set * usize::from(MAX_SEGMENTS)) as u32,
+            segments_per_set: (data_lines_per_set * usize::from(line_segments)) as u32,
+            line_segments,
         }
     }
 
     /// How many uncompressed lines fit in one set's data space.
     pub fn data_lines_per_set(&self) -> usize {
-        (self.segments_per_set / u32::from(MAX_SEGMENTS)) as usize
+        (self.segments_per_set / u32::from(self.line_segments)) as usize
     }
 
     /// Total data capacity in bytes.
@@ -123,7 +142,7 @@ pub struct VscEvicted<M> {
 /// use cmpsim_cache::{VscCache, VscConfig, BlockAddr, VscLookup};
 ///
 /// let mut c: VscCache<()> = VscCache::new(VscConfig {
-///     sets: 2, tags_per_set: 8, segments_per_set: 32,
+///     sets: 2, tags_per_set: 8, segments_per_set: 32, line_segments: 8,
 /// });
 /// let a = BlockAddr(0);
 /// assert_eq!(c.lookup(a), VscLookup::Miss);
@@ -146,8 +165,9 @@ impl<M: Clone + Default> VscCache<M> {
     /// Panics if the data space cannot hold even one uncompressed line.
     pub fn new(cfg: VscConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_segments > 0, "a line needs at least one segment");
         assert!(
-            cfg.segments_per_set >= u32::from(MAX_SEGMENTS),
+            cfg.segments_per_set >= u32::from(cfg.line_segments),
             "a set must hold at least one uncompressed line"
         );
         let sets = (0..cfg.sets)
@@ -212,7 +232,7 @@ impl<M: Clone + Default> VscCache<M> {
         tag.lru = clock;
         let prefetch_first_touch = tag.prefetch;
         tag.prefetch = false;
-        let compressed = tag.segments < MAX_SEGMENTS;
+        let compressed = tag.segments < self.cfg.line_segments;
         self.stats.hits += 1;
         if prefetch_first_touch {
             self.stats.prefetch_first_touches += 1;
@@ -275,8 +295,9 @@ impl<M: Clone + Default> VscCache<M> {
         meta: M,
     ) -> Vec<VscEvicted<M>> {
         assert!(
-            (1..=MAX_SEGMENTS).contains(&segments),
-            "fill size {segments} out of range"
+            (1..=self.cfg.line_segments).contains(&segments),
+            "fill size {segments} out of range 1..={}",
+            self.cfg.line_segments
         );
         self.clock += 1;
         let clock = self.clock;
@@ -422,8 +443,9 @@ impl<M: Clone + Default> VscCache<M> {
         if used == 0 {
             return 1.0;
         }
-        let resident_segments = self.valid_lines() as u64 * u64::from(cmpsim_fpc::MAX_SEGMENTS);
-        (resident_segments as f64 / used as f64).min(2.0)
+        let resident_segments = self.valid_lines() as u64 * u64::from(self.cfg.line_segments);
+        let tag_cap = self.cfg.tags_per_set as f64 / self.cfg.data_lines_per_set() as f64;
+        (resident_segments as f64 / used as f64).min(tag_cap)
     }
 
     /// Checks the structural invariants of the segment accounting, for
@@ -431,7 +453,8 @@ impl<M: Clone + Default> VscCache<M> {
     ///
     /// - each set's resident lines occupy at most `segments_per_set`
     ///   segments,
-    /// - every data-holding tag is allocated and sized 1..=8 segments,
+    /// - every data-holding tag is allocated and sized within the
+    ///   configured codec geometry (`1..=line_segments` segments),
     /// - every dataless tag (victim tag or free) charges 0 segments and
     ///   carries no prefetch bit.
     ///
@@ -454,11 +477,11 @@ impl<M: Clone + Default> VscCache<M> {
                             "set {si} tag {ti}: data resident on an unallocated tag"
                         ));
                     }
-                    if !(1..=MAX_SEGMENTS).contains(&t.segments) {
+                    if !(1..=self.cfg.line_segments).contains(&t.segments) {
                         return Err(format!(
                             "set {si} tag {ti} (addr {:#x}): stored size {} segments \
-                             out of 1..={MAX_SEGMENTS}",
-                            t.addr.0, t.segments
+                             out of the configured codec geometry 1..={}",
+                            t.addr.0, t.segments, self.cfg.line_segments
                         ));
                     }
                 } else {
@@ -497,7 +520,12 @@ mod tests {
 
     fn tiny() -> VscCache<u32> {
         // 1 set, 8 tags, 32 segments (4 uncompressed lines).
-        VscCache::new(VscConfig { sets: 1, tags_per_set: 8, segments_per_set: 32 })
+        VscCache::new(VscConfig {
+            sets: 1,
+            tags_per_set: 8,
+            segments_per_set: 32,
+            line_segments: 8,
+        })
     }
 
     #[test]
@@ -672,7 +700,36 @@ mod tests {
         assert_eq!(cfg.sets, 16384);
         assert_eq!(cfg.tags_per_set, 8);
         assert_eq!(cfg.segments_per_set, 32);
+        assert_eq!(cfg.line_segments, 8);
         assert_eq!(cfg.data_lines_per_set(), 4);
         assert_eq!(cfg.capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn codec_geometry_bounds_fills_and_invariants() {
+        // A narrower codec frame (hypothetical 4-segment lines): the fill
+        // assert and the invariant checker both track the configured
+        // geometry, not FPC's constant.
+        let mut c: VscCache<u32> = VscCache::new(VscConfig {
+            sets: 1,
+            tags_per_set: 8,
+            segments_per_set: 16,
+            line_segments: 4,
+        });
+        assert_eq!(c.config().data_lines_per_set(), 4);
+        for i in 0..4 {
+            c.fill(BlockAddr(i), 4, false, 0);
+        }
+        assert_eq!(c.check_invariants(), Ok(()));
+        match c.lookup(BlockAddr(0)) {
+            VscLookup::Hit { compressed, .. } => {
+                assert!(!compressed, "4 segments is uncompressed in this frame");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.fill(BlockAddr(9), 5, false, 0);
+        }));
+        assert!(r.is_err(), "fill beyond the codec frame must panic");
     }
 }

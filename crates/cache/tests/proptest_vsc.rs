@@ -12,7 +12,12 @@ const SEGMENTS: u32 = 32;
 const TAGS: usize = 8;
 
 fn new_cache() -> VscCache<u64> {
-    VscCache::new(VscConfig { sets: SETS, tags_per_set: TAGS, segments_per_set: SEGMENTS })
+    VscCache::new(VscConfig {
+        sets: SETS,
+        tags_per_set: TAGS,
+        segments_per_set: SEGMENTS,
+        line_segments: 8,
+    })
 }
 
 fn check_invariants(c: &VscCache<u64>, model: &HashMap<BlockAddr, u8>) -> Result<(), String> {
@@ -114,7 +119,7 @@ fn invalidate_then_miss() {
 #[test]
 fn victim_tag_then_refill_promotes() {
     let mut c: VscCache<u64> = VscCache::new(VscConfig {
-        sets: 1, tags_per_set: 8, segments_per_set: 32,
+        sets: 1, tags_per_set: 8, segments_per_set: 32, line_segments: 8,
     });
     for i in 0..5 {
         c.fill(BlockAddr(i), 8, false, i);

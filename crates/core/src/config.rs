@@ -1,6 +1,7 @@
 //! System configuration: Table 1 defaults plus the paper's experiment
 //! grid.
 
+use cmpsim_fpc::CodecKind;
 use cmpsim_link::LinkBandwidth;
 
 /// Which prefetching scheme is active.
@@ -57,8 +58,16 @@ pub struct SystemConfig {
     pub l2_banks: usize,
     /// Uncompressed L2 hit latency, including bank access (15).
     pub l2_latency: u64,
-    /// Decompression pipeline penalty (5).
+    /// Decompression pipeline penalty (5) for the paper's FPC pipeline.
+    /// The effective penalty is the configured [`codec`](Self::codec)'s
+    /// latency model applied to this base (identity for FPC).
     pub decompression_latency: u64,
+    /// Cache-line codec used for both cache and link compression. The
+    /// engine resolves it once at construction (monomorphized sizing
+    /// function, geometry, latency), so the per-access hot path carries
+    /// no codec dispatch. Defaults to [`CodecKind::Fpc`], the paper's
+    /// codec.
+    pub codec: CodecKind,
     /// One-way on-chip hop between L1s and L2 banks (cycles).
     pub l1_to_l2_latency: u64,
     /// Extra round-trip for a coherence probe of a remote L1.
@@ -122,6 +131,7 @@ impl SystemConfig {
             l2_banks: 8,
             l2_latency: 15,
             decompression_latency: 5,
+            codec: CodecKind::Fpc,
             l1_to_l2_latency: 2,
             probe_latency: 15,
             mem_latency: 400,
@@ -147,6 +157,12 @@ impl SystemConfig {
     /// Returns a copy with the given prefetch mode.
     pub fn with_prefetch(mut self, mode: PrefetchMode) -> Self {
         self.prefetch = mode;
+        self
+    }
+
+    /// Returns a copy with the given cache-line codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -299,6 +315,13 @@ mod tests {
         assert_eq!(c.mem_latency, 400);
         assert_eq!(c.link, LinkBandwidth::GBps(20));
         assert!(!c.uses_vsc());
+    }
+
+    #[test]
+    fn codec_defaults_to_fpc_and_is_selectable() {
+        let c = SystemConfig::paper_default(8);
+        assert_eq!(c.codec, CodecKind::Fpc);
+        assert_eq!(c.with_codec(CodecKind::Bdi).codec, CodecKind::Bdi);
     }
 
     #[test]

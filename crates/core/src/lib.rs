@@ -52,6 +52,7 @@ mod stats;
 mod system;
 pub mod telemetry;
 
+pub use cmpsim_fpc::CodecKind;
 pub use config::{PrefetchMode, SystemConfig, Variant};
 pub use error::{CellError, SimError};
 pub use stats::{LevelStats, RunResult, SimStats, TelemetrySample};

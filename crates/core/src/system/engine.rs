@@ -113,6 +113,16 @@ pub struct System {
     cfg: SystemConfig,
     values: cmpsim_trace::ValueProfile,
     seg_cache: MemoCache<u8>,
+    /// Segments an uncompressed line occupies under `cfg.codec` (the
+    /// "all 8 flits / 8 segments" constant of the FPC-only engine).
+    codec_max: u8,
+    /// The configured codec's sizing function, resolved once from
+    /// [`CodecKind::segments_fn`] at construction so the hot path is a
+    /// direct indirect call with no per-line enum dispatch.
+    codec_segments: fn(&[u8; cmpsim_fpc::LINE_BYTES]) -> u8,
+    /// Decompression penalty (cycles) under the configured codec's
+    /// latency model, applied to compressed L2 hits and fills.
+    codec_decomp: u64,
 
     now: u64,
     seq: u64,
@@ -198,9 +208,17 @@ impl System {
         let cores = (0..cfg.cores)
             .map(|c| Some(Box::new(Core::new(c, CoreGenerator::new(spec, c, cfg.seed)))))
             .collect();
+        // Resolve the codec once: geometry, sizing fn, and latency model
+        // become plain fields so the event loop never matches on the kind.
+        let codec_max = cfg.codec.max_segments();
+        let codec_segments = cfg.codec.segments_fn();
+        let codec_decomp = cfg.codec.decompression_latency(cfg.decompression_latency);
         System {
             values,
             seg_cache: MemoCache::new(SEG_MEMO_SLOTS),
+            codec_max,
+            codec_segments,
+            codec_decomp,
             now: 0,
             seq: 0,
             queue: BinaryHeap::new(),
@@ -210,11 +228,11 @@ impl System {
             l1i: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
             l1d: (0..n).map(|_| SetAssocCache::new(l1_cfg)).collect(),
             core_mshrs: (0..n).map(|_| AddrMap::with_capacity(cfg.mshrs_per_core * 2)).collect(),
-            l2: L2Cache::new(cfg.l2_bytes, cfg.uses_vsc()),
+            l2: L2Cache::new(cfg.l2_bytes, cfg.uses_vsc(), codec_max),
             bank_free: vec![0; cfg.l2_banks],
             l2_mshrs: AddrMap::with_capacity(64),
             link: Channel::new(cfg.link, cfg.clock_ghz),
-            mem: MemoryController::new(cfg.mem_latency),
+            mem: MemoryController::with_line_segments(cfg.mem_latency, codec_max),
             pf_l1i: (0..n).map(|_| StridePrefetcher::new(PrefetcherConfig::l1())).collect(),
             pf_l1d: (0..n).map(|_| StridePrefetcher::new(PrefetcherConfig::l1())).collect(),
             pf_l2: (0..n)
@@ -233,7 +251,7 @@ impl System {
                 .collect(),
             th_l2: PrefetchThrottle::new(cfg.l2_prefetch_degree),
             pf_queue: (0..n).map(|_| VecDeque::new()).collect(),
-            policy: CompressionPolicy::new(cfg.mem_latency as u32, cfg.decompression_latency as u32),
+            policy: CompressionPolicy::new(cfg.mem_latency as u32, codec_decomp as u32),
             stats: SimStats::default(),
             l2_demand_accesses: 0,
             dispatched: 0,
@@ -682,13 +700,15 @@ impl System {
 
     // ------------------------------------------------------------ helpers
 
-    /// FPC segment count of a line's (deterministic) contents, memoized
-    /// in a bounded direct-mapped cache (an eviction only costs the
-    /// recompute; the value is a pure function of the address).
+    /// Configured codec's segment count of a line's (deterministic)
+    /// contents, memoized in a bounded direct-mapped cache (an eviction
+    /// only costs the recompute; the value is a pure function of the
+    /// address given the codec, which is fixed per system).
     fn segments_of(&mut self, addr: BlockAddr) -> u8 {
         let values = &self.values;
+        let sizer = self.codec_segments;
         self.seg_cache
-            .get_or_insert_with(addr.0, || values.segments_of(addr.0))
+            .get_or_insert_with(addr.0, || sizer(&values.line_bytes(addr.0)))
     }
 
     /// Segments a data message for `addr` occupies on the link.
@@ -696,7 +716,7 @@ impl System {
         if self.cfg.link_compression {
             self.segments_of(addr)
         } else {
-            cmpsim_fpc::MAX_SEGMENTS
+            self.codec_max
         }
     }
 
@@ -709,7 +729,7 @@ impl System {
                 return self.segments_of(addr);
             }
         }
-        cmpsim_fpc::MAX_SEGMENTS
+        self.codec_max
     }
 
     fn adaptive_pf(&self) -> bool {
@@ -1139,7 +1159,7 @@ impl System {
 
         if info.hit {
             let decomp = if info.compressed && !upgrade {
-                self.cfg.decompression_latency
+                self.codec_decomp
             } else {
                 0
             };
@@ -1283,10 +1303,10 @@ impl System {
         let fresh = if link_compression {
             self.segments_of(addr)
         } else {
-            cmpsim_fpc::MAX_SEGMENTS
+            self.codec_max
         };
         let (_, form) = self.mem.read(addr, self.now, || fresh);
-        let segments = if link_compression { form.segments } else { cmpsim_fpc::MAX_SEGMENTS };
+        let segments = if link_compression { form.segments } else { self.codec_max };
         let for_prefetch = self
             .l2_mshrs
             .get(addr.0)
@@ -1313,8 +1333,8 @@ impl System {
         }
 
         // Service the waiters in arrival order.
-        let stored_compressed = seg_store < cmpsim_fpc::MAX_SEGMENTS;
-        let decomp = if stored_compressed { self.cfg.decompression_latency } else { 0 };
+        let stored_compressed = seg_store < self.codec_max;
+        let decomp = if stored_compressed { self.codec_decomp } else { 0 };
         for w in &mshr.waiters {
             let req = if w.store { L1Request::GetX } else { L1Request::GetS };
             let actions = match self.l2.meta_mut(addr) {

@@ -44,10 +44,12 @@ pub enum L2Cache {
 }
 
 impl L2Cache {
-    /// Builds the right organization for `capacity` bytes.
-    pub fn new(capacity: usize, use_vsc: bool) -> Self {
+    /// Builds the right organization for `capacity` bytes, with the VSC's
+    /// segment geometry sized for a codec whose uncompressed line takes
+    /// `line_segments` segments (8 for every shipped codec).
+    pub fn new(capacity: usize, use_vsc: bool, line_segments: u8) -> Self {
         if use_vsc {
-            L2Cache::Vsc(VscCache::new(VscConfig::compressed_l2(capacity)))
+            L2Cache::Vsc(VscCache::new(VscConfig::compressed_l2_for(capacity, line_segments)))
         } else {
             L2Cache::Classic(SetAssocCache::new(SetAssocConfig::with_capacity(capacity, 8)))
         }
@@ -232,7 +234,7 @@ mod tests {
 
     #[test]
     fn classic_is_eight_way_four_mb() {
-        let l2 = L2Cache::new(4 * 1024 * 1024, false);
+        let l2 = L2Cache::new(4 * 1024 * 1024, false, 8);
         assert!(!l2.is_vsc());
         match l2 {
             L2Cache::Classic(c) => {
@@ -245,7 +247,7 @@ mod tests {
 
     #[test]
     fn vsc_geometry() {
-        let l2 = L2Cache::new(4 * 1024 * 1024, true);
+        let l2 = L2Cache::new(4 * 1024 * 1024, true, 8);
         assert!(l2.is_vsc());
         match l2 {
             L2Cache::Vsc(c) => {
@@ -259,7 +261,7 @@ mod tests {
     #[test]
     fn unified_fill_and_lookup() {
         for use_vsc in [false, true] {
-            let mut l2 = L2Cache::new(64 * 1024, use_vsc);
+            let mut l2 = L2Cache::new(64 * 1024, use_vsc, 8);
             let a = BlockAddr(42);
             assert!(!l2.lookup(a).hit);
             l2.fill(a, 3, true, DirEntry::new());
@@ -274,7 +276,7 @@ mod tests {
     #[test]
     fn valid_lines_counts_both_organizations() {
         for use_vsc in [false, true] {
-            let mut l2 = L2Cache::new(64 * 1024, use_vsc);
+            let mut l2 = L2Cache::new(64 * 1024, use_vsc, 8);
             assert_eq!(l2.valid_lines(), 0);
             for i in 0..5u64 {
                 l2.fill(BlockAddr(i), 4, false, DirEntry::new());
@@ -285,7 +287,7 @@ mod tests {
 
     #[test]
     fn victim_tags_only_on_vsc() {
-        let mut l2 = L2Cache::new(64 * 1024, true);
+        let mut l2 = L2Cache::new(64 * 1024, true, 8);
         // Fill one set beyond capacity to create a victim tag. With 64 KB
         // VSC: 256 sets; same-set lines are 256 apart.
         for i in 0..5u64 {

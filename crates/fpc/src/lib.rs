@@ -15,6 +15,12 @@
 //! segment granularity (1..=8 segments; a line that needs 8 is stored
 //! uncompressed).
 //!
+//! Beyond FPC itself, the crate defines the pluggable [`Codec`] trait the
+//! rest of the simulator compresses through, with three implementations:
+//! [`Fpc`] (this crate's fast path), [`Bdi`] (base-delta-immediate) and
+//! [`Zca`] (zero-content lines). See the [`codec`](self::Codec) docs for
+//! the contract and the monomorphized dispatch scheme.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,16 +36,22 @@
 //! assert_eq!(compressed.decompress(), line, "FPC is lossless");
 //! ```
 
+mod bdi;
+mod codec;
 mod line;
 mod pattern;
 mod segment;
+mod zca;
 
+pub use bdi::{Bdi, BdiLine};
+pub use codec::{Codec, CodecKind, CompressedRepr, Fpc};
 pub use line::{compress, compressed_segments, CompressedLine};
 pub use pattern::{encode_word, encode_word_sized, Pattern, Token, PREFIX_BITS};
 pub use segment::{
     bits_to_segments, segment_bytes_for, LINE_BYTES, MAX_COMPRESSED_SEGMENTS, MAX_SEGMENTS,
     SEGMENT_BITS, SEGMENT_BYTES, WORDS_PER_LINE, WORD_BYTES,
 };
+pub use zca::{Zca, ZcaLine};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,102 @@
+//! Differential oracle: the trait-routed FPC must be *the same function*
+//! as the crate's historical entry points, byte for byte.
+//!
+//! The codec refactor routes every call site through [`Codec`], so this
+//! test pins the refactor's central claim — `Fpc::compress` /
+//! `Fpc::segments` / `CodecKind::Fpc.segments_fn()` are the existing
+//! `compress` / `compressed_segments` fast path, not a reimplementation.
+//! Any drift here would silently change every simulation result while
+//! each path still looked self-consistent.
+
+use cmpsim_fpc::{
+    compress, compressed_segments, Codec, CodecKind, CompressedRepr, Fpc, LINE_BYTES,
+    WORDS_PER_LINE,
+};
+use cmpsim_harness::{gen, prop::check, prop_assert, prop_assert_eq};
+
+fn line_of_words(words: &[u32]) -> [u8; LINE_BYTES] {
+    assert_eq!(words.len(), WORDS_PER_LINE);
+    let mut line = [0u8; LINE_BYTES];
+    for (chunk, w) in line.chunks_exact_mut(4).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    line
+}
+
+/// One line, four routes, one answer: inherent fast path, trait sizing,
+/// resolved fn pointer, and the full trait compression must all agree
+/// (and the representation must be the identical `CompressedLine`).
+fn assert_oracle(line: &[u8; LINE_BYTES]) -> Result<(), String> {
+    let oracle_repr = compress(line);
+    let oracle_segments = compressed_segments(line);
+
+    prop_assert_eq!(Fpc::segments(line), oracle_segments, "trait sizing drifted");
+    prop_assert_eq!(
+        (CodecKind::Fpc.segments_fn())(line),
+        oracle_segments,
+        "resolved fn pointer drifted"
+    );
+    let routed = Fpc::compress(line);
+    prop_assert!(routed == oracle_repr, "trait compression built a different representation");
+    prop_assert_eq!(CompressedRepr::segments(&routed), oracle_segments);
+    prop_assert_eq!(CompressedRepr::decompress(&routed), *line);
+    Ok(())
+}
+
+/// Random word soup across the full 32-bit space.
+#[test]
+fn random_lines_agree_with_oracle() {
+    check(
+        "random_lines_agree_with_oracle",
+        &gen::vec_exact(gen::u32s(..), WORDS_PER_LINE),
+        |words| assert_oracle(&line_of_words(words)),
+    );
+}
+
+/// Pattern-class boundary words, where a reimplementation would diverge
+/// first.
+#[test]
+fn boundary_lines_agree_with_oracle() {
+    let edges = gen::select(vec![
+        0u32,
+        7,
+        8,
+        (-8i32) as u32,
+        (-9i32) as u32,
+        127,
+        128,
+        (-129i32) as u32,
+        32_767,
+        32_768,
+        (-32_769i32) as u32,
+        0xFFFF_0000,
+        0x0080_0080,
+        0xABAB_ABAB,
+        0xDEAD_BEEF,
+    ]);
+    check(
+        "boundary_lines_agree_with_oracle",
+        &gen::vec_exact(edges, WORDS_PER_LINE),
+        |words| assert_oracle(&line_of_words(words)),
+    );
+}
+
+/// Every 16-bit zero-occupancy mask with a fixed nonzero filler — the
+/// same exhaustive sweep that validates the word-parallel fast path, now
+/// re-run through the trait routes.
+#[test]
+fn exhaustive_zero_masks_agree_with_oracle() {
+    for mask in 0u32..(1 << WORDS_PER_LINE) {
+        let mut words = [0x0042_FF85u32; WORDS_PER_LINE];
+        for (i, w) in words.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                *w = 0;
+            }
+        }
+        let line = line_of_words(&words);
+        let oracle = compressed_segments(&line);
+        assert_eq!(Fpc::segments(&line), oracle, "mask {mask:#06x}");
+        assert_eq!((CodecKind::Fpc.segments_fn())(&line), oracle, "mask {mask:#06x}");
+        assert_eq!(Fpc::compress(&line), compress(&line), "mask {mask:#06x}");
+    }
+}

@@ -9,6 +9,10 @@
 //!   seeded generators built on the same xorshift64* pattern as
 //!   `cmpsim_trace::Rng`, greedy shrinking on failure, and
 //!   `CMPSIM_PT_CASES` / `CMPSIM_PT_SEED` environment overrides.
+//! - [`codec_conformance`] — the cross-codec law kit built on [`prop`]:
+//!   round-trip exactness, fast/full sizing agreement, zero-fill
+//!   monotonicity and never-expands, checked against any codec described
+//!   by plain function pointers.
 //! - [`bench`] — a self-contained benchmark runner (warmup + timed
 //!   iterations, median/p10/p90) that writes JSON artifacts to
 //!   `target/bench/*.json`.
@@ -35,6 +39,7 @@
 //! run_grid_parallel`) stay bit-identical to their serial counterparts.
 
 pub mod bench;
+pub mod codec_conformance;
 pub mod fastmap;
 pub mod gen;
 pub mod pool;

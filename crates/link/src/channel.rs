@@ -172,8 +172,11 @@ impl Channel {
         self.next_free[lane] = done;
 
         self.stats.total_bytes += bytes as u64;
-        self.stats.data_bytes +=
-            (usize::from(msg.segments) * cmpsim_fpc::SEGMENT_BYTES) as u64;
+        self.stats.data_bytes += if msg.segments == 0 {
+            0
+        } else {
+            cmpsim_fpc::segment_bytes_for(msg.segments) as u64
+        };
         if msg.for_prefetch {
             self.stats.prefetch_bytes += bytes as u64;
         }

@@ -1,7 +1,7 @@
 //! Off-chip message formats.
 
 use cmpsim_cache::BlockAddr;
-use cmpsim_fpc::{MAX_SEGMENTS, SEGMENT_BYTES};
+use cmpsim_fpc::{segment_bytes_for, MAX_SEGMENTS};
 
 /// Bytes in every message header (address, type, and for data messages the
 /// flit-count length field the paper describes in §2).
@@ -21,9 +21,11 @@ pub enum MessageKind {
 /// One message on the off-chip link.
 ///
 /// Data-carrying messages are transferred as `segments` flits of
-/// [`SEGMENT_BYTES`] each, after the header. With link compression
-/// disabled, every line uses all 8 flits; with it enabled, the FPC segment
-/// count of the line's contents is used.
+/// [`cmpsim_fpc::SEGMENT_BYTES`] each, after the header. With link compression
+/// disabled, every line uses all 8 flits; with it enabled, the configured
+/// codec's segment count of the line's contents is used. The flit frame
+/// (`1..=MAX_SEGMENTS`) is shared by every codec; which codec produced a
+/// count is invisible at this layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     /// Message role.
@@ -63,9 +65,13 @@ impl Message {
         Message { kind: MessageKind::Writeback, addr, segments, for_prefetch: false }
     }
 
-    /// Exact size on the link in bytes: header plus one flit per segment.
+    /// Exact size on the link in bytes: header plus one flit per segment
+    /// (via the codec layer's shared [`segment_bytes_for`] geometry).
     pub fn size_bytes(&self) -> usize {
-        HEADER_BYTES + usize::from(self.segments) * SEGMENT_BYTES
+        if self.segments == 0 {
+            return HEADER_BYTES;
+        }
+        HEADER_BYTES + segment_bytes_for(self.segments)
     }
 
     /// Whether the message carries line data.

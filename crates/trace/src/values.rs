@@ -9,7 +9,7 @@
 //! classes assigned per line address (stationary, deterministic).
 
 use crate::rng::hash64;
-use cmpsim_fpc::{compressed_segments, LINE_BYTES};
+use cmpsim_fpc::{compressed_segments, CodecKind, LINE_BYTES};
 
 /// The kind of data a cache line holds, driving its FPC size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,12 +133,28 @@ impl ValueProfile {
         compressed_segments(&self.line_bytes(line_number))
     }
 
+    /// Segment count of the line's contents under `codec`. The engine
+    /// resolves [`CodecKind::segments_fn`] once instead and sizes
+    /// [`line_bytes`](Self::line_bytes) directly; this is the convenient
+    /// form for tables and calibration tools.
+    pub fn segments_with(&self, line_number: u64, codec: CodecKind) -> u8 {
+        (codec.segments_fn())(&self.line_bytes(line_number))
+    }
+
     /// Monte-Carlo estimate of the effective-capacity compression ratio
     /// (`8 / mean segments`, capped at 2.0 by the VSC's 8-tags-per-4-lines
     /// structure), for calibration against Table 3.
     pub fn expected_ratio(&self, samples: u64) -> f64 {
-        let total: u64 =
-            (0..samples).map(|i| u64::from(self.segments_of(i * 977))).sum();
+        self.expected_ratio_with(CodecKind::Fpc, samples)
+    }
+
+    /// [`expected_ratio`](Self::expected_ratio) under an arbitrary codec,
+    /// for the codec × workload comparison table.
+    pub fn expected_ratio_with(&self, codec: CodecKind, samples: u64) -> f64 {
+        let sizer = codec.segments_fn();
+        let total: u64 = (0..samples)
+            .map(|i| u64::from(sizer(&self.line_bytes(i * 977))))
+            .sum();
         let mean = total as f64 / samples as f64;
         (8.0 / mean).min(2.0)
     }
@@ -192,6 +208,23 @@ mod tests {
         let r = p.expected_ratio(4000);
         // mean segments = 4.5 → ratio ≈ 1.78.
         assert!((1.6..=1.95).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn codec_choice_changes_sizing_not_contents() {
+        let p = ValueProfile::new(
+            &[(LineClass::Zero, 0.3), (LineClass::SmallInt, 0.4), (LineClass::Random, 0.3)],
+            5,
+        );
+        assert_eq!(p.segments_with(42, CodecKind::Fpc), p.segments_of(42));
+        // ZCA only compresses zero lines, so every codec that also
+        // catches zero lines dominates it on any mixture.
+        let fpc = p.expected_ratio_with(CodecKind::Fpc, 2000);
+        let bdi = p.expected_ratio_with(CodecKind::Bdi, 2000);
+        let zca = p.expected_ratio_with(CodecKind::Zca, 2000);
+        assert!(fpc >= zca, "fpc {fpc} vs zca {zca}");
+        assert!(bdi >= zca, "bdi {bdi} vs zca {zca}");
+        assert!(zca > 1.0, "the mixture has zero lines for zca to find");
     }
 
     #[test]

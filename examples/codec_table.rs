@@ -1,0 +1,66 @@
+//! Codec × workload comparison table: how FPC, BDI and ZCA trade off on
+//! each benchmark's value mixture, alongside the paper's Table 3 view.
+//!
+//! For every workload and codec this prints the *expected* L2 compression
+//! ratio from the value model (the analog of Table 3, which the paper
+//! reports for FPC only), the *measured* effective-capacity ratio from a
+//! smoke simulation with cache+link compression enabled, and the speedup
+//! of that configuration over the uncompressed baseline.
+//!
+//! ```sh
+//! cargo run --release --example codec_table
+//! ```
+
+use cmpsim::report::Table;
+use cmpsim::{
+    metrics, run_variant, CodecKind, SimLength, SystemConfig, Variant,
+};
+use cmpsim::trace::all_workloads;
+
+fn main() {
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let len = SimLength { warmup: 20_000, measure: 60_000 };
+
+    let mut t = Table::new(&[
+        "benchmark",
+        "fpc exp",
+        "bdi exp",
+        "zca exp",
+        "fpc ratio",
+        "bdi ratio",
+        "zca ratio",
+        "fpc speedup",
+        "bdi speedup",
+        "zca speedup",
+    ]);
+
+    for spec in all_workloads() {
+        let profile = spec.value_profile(base.seed);
+        let baseline = run_variant(&spec, &base, Variant::Base, len)
+            .expect("baseline simulates");
+
+        let mut expected = Vec::new();
+        let mut measured = Vec::new();
+        let mut speedups = Vec::new();
+        for codec in CodecKind::all() {
+            expected.push(format!("{:.2}", profile.expected_ratio_with(codec, 4000)));
+            let cfg = base.clone().with_codec(codec);
+            let r = run_variant(&spec, &cfg, Variant::BothCompression, len)
+                .expect("compressed cell simulates");
+            measured.push(format!("{:.2}", r.stats.compression_ratio()));
+            speedups.push(format!("{:+.1}%", metrics::speedup_pct(&baseline, &r)));
+        }
+
+        let mut row = vec![spec.name.to_string()];
+        row.extend(expected);
+        row.extend(measured);
+        row.extend(speedups);
+        t.row(&row);
+    }
+
+    t.print(
+        "Codec x workload: expected L2 ratio (value model), measured \
+         effective-capacity ratio, and speedup of cache+link compression \
+         over Base (4 cores, seed 11, smoke length)",
+    );
+}

@@ -9,6 +9,13 @@
 //! that alters simulated behavior — rather than just how fast it is
 //! computed — changes the digest and fails the gate.
 //!
+//! Two companion gates pin the non-default codecs: the same 8 workloads
+//! under the two compression-bearing variants with BDI and ZCA selected,
+//! recorded when the pluggable codec suite landed
+//! (`tests/golden/grid_digest_bdi.txt` / `grid_digest_zca.txt`). The FPC
+//! digest doubles as the proof that routing every call site through the
+//! `Codec` trait left the default model bit-identical.
+//!
 //! Only fields that existed in the seed `RunResult` participate, so the
 //! digest stays comparable across PRs that add host-side measurement
 //! fields (wall-clock, dispatched-event counts). The `f64` field is
@@ -18,7 +25,9 @@
 //!   cargo run --release --example grid_digest           # compare
 //!   CMPSIM_WRITE_GOLDEN=1 cargo run ... grid_digest     # (re)record
 
-use cmpsim::{all_workloads, run_grid_serial, GridCell, SimLength, SystemConfig, Variant};
+use cmpsim::{
+    all_workloads, run_grid_serial, CodecKind, GridCell, SimLength, SystemConfig, Variant,
+};
 use std::time::Instant;
 
 const VARIANTS: [Variant; 4] = [
@@ -27,6 +36,9 @@ const VARIANTS: [Variant; 4] = [
     Variant::Prefetch,
     Variant::PrefetchCompression,
 ];
+
+/// Codec smoke grids only need the variants where the codec matters.
+const CODEC_VARIANTS: [Variant; 2] = [Variant::BothCompression, Variant::PrefetchCompression];
 
 const GOLDEN_PATH: &str = "tests/golden/grid_digest.txt";
 
@@ -91,43 +103,66 @@ fn digest_cell(h: &mut u64, cell: &GridCell) {
     }
 }
 
-fn main() {
+fn digest_grid(base: &SystemConfig, variants: &[Variant], len: SimLength) -> (String, usize) {
     let specs = all_workloads();
-    let base = SystemConfig::paper_default(4).with_seed(11);
-    let len = SimLength { warmup: 5_000, measure: 20_000 };
-
-    let t0 = Instant::now();
-    let cells =
-        run_grid_serial(&specs, &base, &VARIANTS, len).expect("smoke grid simulates");
-    let elapsed = t0.elapsed();
-
+    let cells = run_grid_serial(&specs, base, variants, len).expect("smoke grid simulates");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for cell in &cells {
         digest_cell(&mut h, cell);
     }
-    let digest = format!("{h:016x}");
-    println!(
-        "grid digest: {digest}  ({} cells in {:.2}s)",
-        cells.len(),
-        elapsed.as_secs_f64()
-    );
+    (format!("{h:016x}"), cells.len())
+}
 
-    if std::env::var("CMPSIM_WRITE_GOLDEN").is_ok() {
-        std::fs::create_dir_all("tests/golden").expect("create tests/golden");
-        std::fs::write(GOLDEN_PATH, format!("{digest}\n")).expect("write golden");
-        println!("recorded golden digest to {GOLDEN_PATH}");
-        return;
+/// Compares (or records, under `CMPSIM_WRITE_GOLDEN=1`) one digest
+/// against its golden file. Returns whether the gate passed.
+fn gate(label: &str, digest: &str, path: &str, record: bool) -> bool {
+    if record {
+        std::fs::write(path, format!("{digest}\n")).expect("write golden");
+        println!("{label}: recorded golden digest to {path}");
+        return true;
     }
-    let golden = std::fs::read_to_string(GOLDEN_PATH)
-        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH}: {e}"));
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let golden = golden.trim();
     if digest != golden {
         eprintln!(
-            "grid digest MISMATCH: got {digest}, golden {golden}\n\
-             the engine's simulated behavior diverged from the seed path \
+            "{label} digest MISMATCH: got {digest}, golden {golden}\n\
+             the engine's simulated behavior diverged from the recorded model \
              (run with CMPSIM_WRITE_GOLDEN=1 only for an intentional model change)"
         );
+        return false;
+    }
+    println!("{label}: digest matches golden ({path})");
+    true
+}
+
+fn main() {
+    let base = SystemConfig::paper_default(4).with_seed(11);
+    let len = SimLength { warmup: 5_000, measure: 20_000 };
+    let record = std::env::var("CMPSIM_WRITE_GOLDEN").is_ok();
+    if record {
+        std::fs::create_dir_all("tests/golden").expect("create tests/golden");
+    }
+
+    let t0 = Instant::now();
+    let (fpc_digest, cells) = digest_grid(&base, &VARIANTS, len);
+    println!(
+        "grid digest: {fpc_digest}  ({cells} cells in {:.2}s)",
+        t0.elapsed().as_secs_f64()
+    );
+    let mut ok = gate("fpc grid", &fpc_digest, GOLDEN_PATH, record);
+
+    for (codec, path) in [
+        (CodecKind::Bdi, "tests/golden/grid_digest_bdi.txt"),
+        (CodecKind::Zca, "tests/golden/grid_digest_zca.txt"),
+    ] {
+        let cfg = base.clone().with_codec(codec);
+        let (digest, cells) = digest_grid(&cfg, &CODEC_VARIANTS, len);
+        println!("{codec} grid digest: {digest}  ({cells} cells)");
+        ok &= gate(&format!("{codec} grid"), &digest, path, record);
+    }
+
+    if !ok {
         std::process::exit(1);
     }
-    println!("grid digest matches the seed-engine golden ({GOLDEN_PATH})");
 }

@@ -22,6 +22,14 @@ echo "== supervision + determinism suites =="
 cargo test -q --offline -p cmpsim-harness supervise
 cargo test -q --offline --test determinism --test resilience
 
+echo "== codec conformance + differential oracle suites =="
+# Cross-codec law kit (round-trip, sizing agreement, zero-fill
+# monotonicity, never-expands) against FPC/BDI/ZCA, plus the oracle test
+# pinning trait-routed FPC byte-for-byte to the historical fast path
+# (including the exhaustive 2^16 zero-mask sweep).
+cargo test -q --offline --test codecs
+cargo test -q --offline -p cmpsim-fpc --test codec_oracle
+
 echo "== invariant-checked smoke cell (CMPSIM_CHECK=1) =="
 CMPSIM_CHECK=1 cargo run -q --release --offline --example checked_smoke
 
@@ -29,7 +37,9 @@ echo "== hot-path bit-identity gate (run_grid_serial vs seed golden) =="
 # The smoke grid's FNV-1a digest over every seed-era result field must
 # match tests/golden/grid_digest.txt, recorded from the pre-optimization
 # engine: the hot-path data structures (fastmap, event-pool free list,
-# word-parallel FPC sizing) must never change simulation results.
+# word-parallel FPC sizing) must never change simulation results. The
+# same run also gates the BDI/ZCA smoke grids against the goldens
+# recorded when the pluggable codec suite landed.
 cargo run -q --release --offline --example grid_digest
 
 echo "== tracing-inertness gate (grid digest under CMPSIM_TRACE=1) =="
