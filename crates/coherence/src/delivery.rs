@@ -1,0 +1,60 @@
+//! Probe-message delivery under loss: bounded retransmission.
+//!
+//! The directory's probe network is modeled as reliable in the healthy
+//! hierarchy, but the chaos engine can declare individual probe messages
+//! lost. Losing a probe *semantically* would wedge MSI (an invalidate
+//! that never lands breaks the single-writer invariant), so the model
+//! retries: the transition is still applied structurally by the L2, and
+//! this module computes how many delivery attempts the probe needed so
+//! the simulator can charge the extra round trips. Loss decisions are
+//! supplied by the caller (the deterministic fault plan) — nothing here
+//! owns randomness, which keeps the protocol crate purely functional.
+
+/// Delivers one probe with at most `max_attempts` tries. `lost(k)` says
+/// whether attempt `k` (0-based) is lost — decided externally, e.g. by a
+/// seeded fault plan. Returns `Some(attempts_used)` (≥ 1) on delivery,
+/// or `None` if every attempt was lost (retry budget exhausted).
+pub fn deliver_with_retries(mut lost: impl FnMut(u32) -> bool, max_attempts: u32) -> Option<u32> {
+    for k in 0..max_attempts {
+        if !lost(k) {
+            return Some(k + 1);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_network_delivers_first_try() {
+        assert_eq!(deliver_with_retries(|_| false, 4), Some(1));
+    }
+
+    #[test]
+    fn losses_cost_attempts() {
+        assert_eq!(deliver_with_retries(|k| k < 2, 4), Some(3));
+        assert_eq!(deliver_with_retries(|k| k == 0, 4), Some(2));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_explicit() {
+        assert_eq!(deliver_with_retries(|_| true, 4), None);
+        assert_eq!(deliver_with_retries(|_| false, 0), None, "no attempts, no delivery");
+    }
+
+    #[test]
+    fn decision_callback_sees_each_attempt_once() {
+        let mut seen = Vec::new();
+        let r = deliver_with_retries(
+            |k| {
+                seen.push(k);
+                k < 3
+            },
+            8,
+        );
+        assert_eq!(r, Some(4));
+        assert_eq!(seen, vec![0, 1, 2, 3], "stops probing after delivery");
+    }
+}

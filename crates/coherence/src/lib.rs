@@ -31,10 +31,12 @@
 //! assert_eq!(dir.owner(), Some(CoreId(1)));
 //! ```
 
+mod delivery;
 mod directory;
 mod sharers;
 mod state;
 
+pub use delivery::deliver_with_retries;
 pub use directory::{DirAction, DirEntry, L1Request};
 pub use sharers::SharerSet;
 pub use state::MsiState;

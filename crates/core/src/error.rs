@@ -42,6 +42,23 @@ pub enum SimError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// A fault-recovery budget ran out under an armed chaos plan: a
+    /// message (or line) failed every permitted retransmission attempt,
+    /// so graceful degradation gives way to an explicit abort.
+    FaultBudgetExhausted {
+        /// Cycle at which the budget ran out.
+        cycle: u64,
+        /// The injection site (e.g. `"link-request"`, `"dir-message"`).
+        site: &'static str,
+        /// Block address of the doomed transfer or probe.
+        addr: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+        /// The last flight-recorder events (rendered, oldest first);
+        /// chaos arms a recorder-only trace, so the tail is populated
+        /// even when `CMPSIM_TRACE` is off.
+        recent_events: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -65,6 +82,22 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvariantViolation { cycle, subsystem, detail } => {
                 write!(f, "invariant violation in {subsystem} at cycle {cycle}: {detail}")
+            }
+            SimError::FaultBudgetExhausted { cycle, site, addr, attempts, recent_events } => {
+                write!(
+                    f,
+                    "fault-recovery budget exhausted at cycle {cycle}: {site} for block \
+                     {addr:#x} failed all {attempts} delivery attempts"
+                )?;
+                if recent_events.is_empty() {
+                    write!(f, "\n  (no flight-recorder events captured)")
+                } else {
+                    write!(f, "\n  last {} flight-recorder events:", recent_events.len())?;
+                    for e in recent_events {
+                        write!(f, "\n    {e}")?;
+                    }
+                    Ok(())
+                }
             }
         }
     }
@@ -106,6 +139,17 @@ pub enum CellError {
         /// The underlying simulation error.
         error: SimError,
     },
+    /// The journal's quarantine list says this cell already failed
+    /// repeatedly in earlier runs, so resume skips it instead of
+    /// retrying forever. Delete (or reset) the journal to try again.
+    Quarantined {
+        /// Workload of the quarantined cell.
+        workload: &'static str,
+        /// Variant of the quarantined cell.
+        variant: Variant,
+        /// Failures recorded in the journal before quarantine.
+        failures: u32,
+    },
 }
 
 impl CellError {
@@ -114,7 +158,8 @@ impl CellError {
         match self {
             CellError::Panicked { workload, .. }
             | CellError::TimedOut { workload, .. }
-            | CellError::Sim { workload, .. } => workload,
+            | CellError::Sim { workload, .. }
+            | CellError::Quarantined { workload, .. } => workload,
         }
     }
 
@@ -123,7 +168,8 @@ impl CellError {
         match self {
             CellError::Panicked { variant, .. }
             | CellError::TimedOut { variant, .. }
-            | CellError::Sim { variant, .. } => *variant,
+            | CellError::Sim { variant, .. }
+            | CellError::Quarantined { variant, .. } => *variant,
         }
     }
 }
@@ -144,6 +190,12 @@ impl std::fmt::Display for CellError {
             CellError::Sim { workload, variant, error } => {
                 write!(f, "cell ({workload}, {}) failed: {error}", variant.label())
             }
+            CellError::Quarantined { workload, variant, failures } => write!(
+                f,
+                "cell ({workload}, {}) quarantined after {failures} journaled failure(s); \
+                 delete the journal to retry it",
+                variant.label()
+            ),
         }
     }
 }

@@ -314,16 +314,38 @@ where
         .as_ref()
         .map(|p| Arc::new(Mutex::new(Journal::new(p, fingerprint))));
 
-    // Cells already in the journal are reused, not re-run.
+    // Cells already in the journal are reused, not re-run; cells the
+    // journal records as repeatedly failing are quarantined outright.
     let mut completed: HashMap<(String, Variant), RunResult> = HashMap::new();
+    let mut quarantined: HashMap<(String, Variant), u32> = HashMap::new();
     if let Some(j) = &journal {
-        let entries = lock_journal(j).load_or_reset().unwrap_or_else(|e| {
+        let snapshot = lock_journal(j).load().unwrap_or_else(|e| {
             eprintln!("cmpsim: could not read journal: {e}; starting fresh");
-            Vec::new()
+            journal::JournalSnapshot::default()
         });
-        for e in entries {
+        if let Some(p) = &opts.journal {
+            if snapshot.repaired_tail {
+                eprintln!(
+                    "cmpsim: journal {}: torn tail truncated (writer was killed mid-append); \
+                     the torn cell will re-run",
+                    p.display()
+                );
+            }
+            for (line, reason) in &snapshot.skipped {
+                eprintln!(
+                    "cmpsim: journal {}:{line}: {reason}; cell will re-run",
+                    p.display()
+                );
+            }
+        }
+        for e in snapshot.entries {
             if e.seed == base.seed {
                 completed.insert((e.workload, e.variant), e.result);
+            }
+        }
+        for ((workload, variant, seed), failures) in &snapshot.failures {
+            if *seed == base.seed && *failures >= journal::MAX_CELL_FAILURES {
+                quarantined.insert((workload.clone(), *variant), *failures);
             }
         }
     }
@@ -349,6 +371,14 @@ where
                     variant,
                     seed: base.seed,
                     result: result.clone(),
+                }));
+                progress.cell_skipped(idx);
+            } else if let Some(&failures) = quarantined.get(&(spec.name.to_string(), variant))
+            {
+                out[idx] = Some(Err(CellError::Quarantined {
+                    workload: spec.name,
+                    variant,
+                    failures,
                 }));
                 progress.cell_skipped(idx);
             } else {
@@ -395,7 +425,7 @@ where
         if !matches!(progress.state(slot), CellState::Done | CellState::Failed) {
             progress.cell_finished(slot, false, 0, 0);
         }
-        out[slot] = Some(match outcome {
+        let resolved = match outcome {
             JobOutcome::Ok(Ok(result)) => {
                 Ok(GridCell { workload, variant, seed: base.seed, result })
             }
@@ -408,7 +438,17 @@ where
                 variant,
                 elapsed_ms: elapsed.as_millis() as u64,
             }),
-        });
+        };
+        if let (Err(err), Some(j)) = (&resolved, &journal) {
+            // Journal the failure so repeated offenders are quarantined
+            // on the next resume instead of retried forever.
+            if let Err(e) =
+                lock_journal(j).append_failure(workload, variant, base.seed, &err.to_string())
+            {
+                eprintln!("cmpsim: journal failure append failed: {e}");
+            }
+        }
+        out[slot] = Some(resolved);
     }
     drop(heartbeat);
     out.into_iter().map(|o| o.expect("every cell resolved")).collect()

@@ -11,8 +11,9 @@
 //! File layout (hand-rolled flat JSON; this workspace has no serde):
 //!
 //! ```text
-//! {"cmpsim_journal":1,"fingerprint":"1a2b3c..."}
-//! {"workload":"apsi","variant":"pf+compr","seed":11,"cycles":...,...}
+//! {"cmpsim_journal":3,"fingerprint":"1a2b3c..."}
+//! {"workload":"apsi","variant":"pf+compr","seed":11,"cycles":...,"crc":"9f1e22ab"}
+//! {"failure":"mgrid","variant":"base","seed":11,"error":"...","crc":"00c41f77"}
 //! ...
 //! ```
 //!
@@ -21,8 +22,21 @@
 //! partial sweep is reusable by a larger sweep over the same
 //! configuration. A journal whose fingerprint does not match is
 //! discarded (the sweep would silently mix incompatible results
-//! otherwise); a malformed cell line is skipped, which only means that
-//! cell re-runs.
+//! otherwise).
+//!
+//! Crash safety (v3):
+//!
+//! - Every record carries a trailing FNV-1a checksum (`"crc"`), so a
+//!   record corrupted in place is *detected* and skipped — with its line
+//!   number — rather than silently decoded into wrong numbers.
+//! - A torn tail (the process was killed mid-append, leaving a final
+//!   line with no `\n`) is physically truncated away on load; every
+//!   intact cell survives and only the torn one re-runs.
+//! - The header is created via tempfile + atomic rename, so no reader
+//!   can ever observe a half-written header.
+//! - Cell *failures* are journaled too; a cell that has failed
+//!   [`MAX_CELL_FAILURES`] times is quarantined — resume skips it with an
+//!   explicit error instead of re-running it forever.
 
 use crate::config::{SystemConfig, Variant};
 use crate::experiment::SimLength;
@@ -37,7 +51,72 @@ use std::path::{Path, PathBuf};
 ///
 /// v2: added the simulator-throughput fields (`events`, `retired`,
 /// `host_nanos`) to each cell line.
-const VERSION: u64 = 2;
+///
+/// v3: per-record `crc` checksums, journaled failure records (feeding
+/// the quarantine list), and the chaos-engine fault counters.
+const VERSION: u64 = 3;
+
+/// Journaled failures of one cell before resume quarantines it.
+pub const MAX_CELL_FAILURES: u32 = 2;
+
+/// A journal I/O operation that failed, with enough context (path and
+/// operation) to act on the message without a debugger.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Journal (or tempfile) path the operation touched.
+        path: PathBuf,
+        /// What the journal was doing (e.g. `"read"`, `"append"`).
+        op: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, op, source } => {
+                write!(f, "journal {op} failed for {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Everything [`Journal::load`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct JournalSnapshot {
+    /// Successfully decoded (and checksum-verified) completed cells, in
+    /// file order; on duplicates the caller's last-wins insert applies.
+    pub entries: Vec<JournalEntry>,
+    /// Journaled failure counts per `(workload, variant, seed)`.
+    pub failures: HashMap<(String, Variant, u64), u32>,
+    /// Undecodable lines as `(1-based line number, reason)`; each one
+    /// only means that cell re-runs.
+    pub skipped: Vec<(usize, String)>,
+    /// Whether a torn tail (kill mid-append) was truncated away.
+    pub repaired_tail: bool,
+}
+
+impl JournalSnapshot {
+    /// Journaled failure count that puts `(workload, variant, seed)` in
+    /// quarantine, or `None` if the cell may still run.
+    pub fn quarantined(&self, workload: &str, variant: Variant, seed: u64) -> Option<u32> {
+        self.failures
+            .get(&(workload.to_string(), variant, seed))
+            .copied()
+            .filter(|&n| n >= MAX_CELL_FAILURES)
+    }
+}
 
 /// One completed cell read back from a journal. `workload` is owned
 /// because the file outlives any `&'static` workload table.
@@ -73,23 +152,50 @@ impl Journal {
         &self.path
     }
 
-    /// Reads back every decodable cell from an existing journal.
+    fn io_err(&self, op: &'static str, source: io::Error) -> JournalError {
+        JournalError::Io { path: self.path.clone(), op, source }
+    }
+
+    /// Reads back everything recoverable from an existing journal.
     ///
-    /// A missing file yields an empty list. A file whose header is absent
-    /// or carries a different fingerprint is **discarded** (deleted) and
-    /// yields an empty list — resuming it under this sweep would mix
-    /// results from a different configuration. Malformed cell lines are
-    /// skipped individually.
+    /// A missing file yields an empty snapshot. A file whose header is
+    /// absent or carries a different fingerprint is **discarded**
+    /// (deleted) and yields an empty snapshot — resuming it under this
+    /// sweep would mix results from a different configuration. A torn
+    /// tail (kill mid-append) is truncated off the file; corrupt middle
+    /// lines are skipped individually with their line number and reason.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors other than the file not existing.
-    pub fn load_or_reset(&self) -> io::Result<Vec<JournalEntry>> {
-        let text = match fs::read_to_string(&self.path) {
+    pub fn load(&self) -> Result<JournalSnapshot, JournalError> {
+        let mut snap = JournalSnapshot::default();
+        let mut text = match fs::read_to_string(&self.path) {
             Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(snap),
+            Err(e) => return Err(self.io_err("read", e)),
         };
+        if !text.is_empty() && !text.ends_with('\n') {
+            // Torn tail: the writer was killed mid-append. Truncate the
+            // file to the last complete record so a subsequent append
+            // cannot splice new bytes onto the partial line.
+            snap.repaired_tail = true;
+            match text.rfind('\n') {
+                Some(pos) => {
+                    text.truncate(pos + 1);
+                    let f = fs::OpenOptions::new()
+                        .write(true)
+                        .open(&self.path)
+                        .map_err(|e| self.io_err("repair", e))?;
+                    f.set_len(text.len() as u64).map_err(|e| self.io_err("repair", e))?;
+                }
+                None => {
+                    // Not even the header survived; start over.
+                    fs::remove_file(&self.path).map_err(|e| self.io_err("reset", e))?;
+                    return Ok(snap);
+                }
+            }
+        }
         let mut lines = text.lines();
         let header_ok = lines
             .next()
@@ -102,10 +208,60 @@ impl Journal {
             })
             .unwrap_or(false);
         if !header_ok {
-            fs::remove_file(&self.path)?;
-            return Ok(Vec::new());
+            fs::remove_file(&self.path).map_err(|e| self.io_err("reset", e))?;
+            return Ok(JournalSnapshot::default());
         }
-        Ok(lines.filter_map(decode_entry).collect())
+        for (idx, line) in lines.enumerate() {
+            match decode_line(line) {
+                Ok(Decoded::Entry(e)) => snap.entries.push(e),
+                Ok(Decoded::Failure { workload, variant, seed }) => {
+                    *snap.failures.entry((workload, variant, seed)).or_insert(0) += 1;
+                }
+                Err(reason) => snap.skipped.push((idx + 2, reason)), // 1-based, after header
+            }
+        }
+        Ok(snap)
+    }
+
+    /// [`load`](Self::load), reduced to the completed cells (the v2
+    /// shape most callers want).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn load_or_reset(&self) -> Result<Vec<JournalEntry>, JournalError> {
+        Ok(self.load()?.entries)
+    }
+
+    /// Opens the journal for appending, creating its header first if the
+    /// file is missing or empty. The header is written to a tempfile and
+    /// renamed into place, so a concurrent or subsequent reader can never
+    /// observe a half-written header.
+    fn open_for_append(&self) -> Result<fs::File, JournalError> {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir).map_err(|e| self.io_err("create dir", e))?;
+        }
+        let empty = match fs::metadata(&self.path) {
+            Ok(m) => m.len() == 0,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => true,
+            Err(e) => return Err(self.io_err("stat", e)),
+        };
+        if empty {
+            let tmp = self.path.with_extension("tmp");
+            fs::write(
+                &tmp,
+                format!(
+                    "{{\"cmpsim_journal\":{VERSION},\"fingerprint\":\"{:016x}\"}}\n",
+                    self.fingerprint
+                ),
+            )
+            .map_err(|e| JournalError::Io { path: tmp.clone(), op: "write header", source: e })?;
+            fs::rename(&tmp, &self.path).map_err(|e| self.io_err("rename header", e))?;
+        }
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| self.io_err("open", e))
     }
 
     /// Appends one completed cell, creating the file (with its header)
@@ -114,22 +270,31 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
-    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
-        if let Some(dir) = self.path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        let mut f = fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
-        if f.metadata()?.len() == 0 {
-            writeln!(
-                f,
-                "{{\"cmpsim_journal\":{VERSION},\"fingerprint\":\"{:016x}\"}}",
-                self.fingerprint
-            )?;
-        }
+    /// Propagates I/O errors, tagged with the journal path and operation.
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), JournalError> {
+        let mut f = self.open_for_append()?;
         let mut line = encode_entry(entry);
         line.push('\n');
-        f.write_all(line.as_bytes())
+        f.write_all(line.as_bytes()).map_err(|e| self.io_err("append", e))
+    }
+
+    /// Appends one cell-failure record; [`MAX_CELL_FAILURES`] of these
+    /// for the same cell quarantine it on the next resume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors, tagged with the journal path and operation.
+    pub fn append_failure(
+        &self,
+        workload: &str,
+        variant: Variant,
+        seed: u64,
+        error: &str,
+    ) -> Result<(), JournalError> {
+        let mut f = self.open_for_append()?;
+        let mut line = encode_failure(workload, variant, seed, error);
+        line.push('\n');
+        f.write_all(line.as_bytes()).map_err(|e| self.io_err("append failure", e))
     }
 }
 
@@ -242,6 +407,8 @@ fn numeric_fields(r: &RunResult) -> Vec<(String, u64)> {
         ("stats.link.messages".into(), s.link.messages),
         ("stats.link.queue_delay_cycles".into(), s.link.queue_delay_cycles),
         ("stats.link.busy_cycles".into(), s.link.busy_cycles),
+        ("stats.link.dropped_messages".into(), s.link.dropped_messages),
+        ("stats.link.corrupted_messages".into(), s.link.corrupted_messages),
         ("stats.mem_reads".into(), s.mem_reads),
         ("stats.mem_writes".into(), s.mem_writes),
         ("stats.coherence.invalidations".into(), s.coherence.invalidations),
@@ -249,8 +416,52 @@ fn numeric_fields(r: &RunResult) -> Vec<(String, u64)> {
         ("stats.coherence.upgrades".into(), s.coherence.upgrades),
         ("stats.coherence.inclusion_recalls".into(), s.coherence.inclusion_recalls),
         ("stats.dropped_prefetches".into(), s.dropped_prefetches),
+        ("stats.faults.codec_faults_injected".into(), s.faults.codec_faults_injected),
+        ("stats.faults.codec_faults_detected".into(), s.faults.codec_faults_detected),
+        ("stats.faults.fault_recoveries".into(), s.faults.fault_recoveries),
+        ("stats.faults.lines_quarantined".into(), s.faults.lines_quarantined),
+        ("stats.faults.link_faults_injected".into(), s.faults.link_faults_injected),
+        ("stats.faults.link_retransmits".into(), s.faults.link_retransmits),
+        ("stats.faults.mem_stall_bursts".into(), s.faults.mem_stall_bursts),
+        ("stats.faults.mem_stall_cycles".into(), s.faults.mem_stall_cycles),
+        ("stats.faults.dir_messages_lost".into(), s.faults.dir_messages_lost),
+        ("stats.faults.dir_retries".into(), s.faults.dir_retries),
     ]);
     kv
+}
+
+/// FNV-1a (32-bit) over a record's byte prefix — the per-record checksum.
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Closes an open record body (`{"k":v,...` — no trailing brace) with
+/// its checksum field: the crc covers every byte before the `,"crc"`.
+fn seal(mut body: String) -> String {
+    let crc = fnv32(body.as_bytes());
+    body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+    body
+}
+
+/// Verifies and strips a record's trailing checksum, returning the body.
+fn check_seal(line: &str) -> Result<&str, String> {
+    let pos = line
+        .rfind(",\"crc\":\"")
+        .ok_or_else(|| "missing crc field".to_string())?;
+    let tail = &line[pos + 8..];
+    let hex = tail.strip_suffix("\"}").ok_or_else(|| "malformed crc field".to_string())?;
+    let recorded =
+        u32::from_str_radix(hex, 16).map_err(|_| "malformed crc field".to_string())?;
+    let actual = fnv32(line[..pos].as_bytes());
+    if actual != recorded {
+        return Err(format!("crc mismatch (recorded {recorded:08x}, computed {actual:08x})"));
+    }
+    Ok(&line[..pos])
 }
 
 fn encode_entry(e: &JournalEntry) -> String {
@@ -267,8 +478,55 @@ fn encode_entry(e: &JournalEntry) -> String {
     for (k, v) in numeric_fields(&e.result) {
         s.push_str(&format!(",\"{k}\":{v}"));
     }
-    s.push('}');
-    s
+    seal(s)
+}
+
+fn encode_failure(workload: &str, variant: Variant, seed: u64, error: &str) -> String {
+    // The flat parser supports no escapes, so sanitize the free-form
+    // error text into the representable subset.
+    let sane: String = error
+        .chars()
+        .take(200)
+        .map(|c| match c {
+            '"' | '\\' => '\'',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect();
+    seal(format!(
+        "{{\"failure\":\"{workload}\",\"variant\":\"{}\",\"seed\":{seed},\"error\":\"{sane}\"",
+        variant.label()
+    ))
+}
+
+/// One checksum-verified journal record.
+#[derive(Debug)]
+enum Decoded {
+    Entry(JournalEntry),
+    Failure { workload: String, variant: Variant, seed: u64 },
+}
+
+fn decode_line(line: &str) -> Result<Decoded, String> {
+    check_seal(line)?;
+    let kvs = parse_flat(line).ok_or_else(|| "malformed record".to_string())?;
+    let map: HashMap<String, JsonVal> = kvs.into_iter().collect();
+    if let Some(JsonVal::Str(workload)) = map.get("failure") {
+        let variant = match map.get("variant") {
+            Some(JsonVal::Str(label)) => *Variant::all()
+                .iter()
+                .find(|v| v.label() == *label)
+                .ok_or_else(|| format!("unknown variant {label:?}"))?,
+            _ => return Err("failure record missing variant".to_string()),
+        };
+        let seed = match map.get("seed") {
+            Some(JsonVal::Num(n)) => *n,
+            _ => return Err("failure record missing seed".to_string()),
+        };
+        return Ok(Decoded::Failure { workload: workload.clone(), variant, seed });
+    }
+    decode_entry(line)
+        .map(Decoded::Entry)
+        .ok_or_else(|| "missing or malformed cell field".to_string())
 }
 
 fn decode_entry(line: &str) -> Option<JournalEntry> {
@@ -316,6 +574,8 @@ fn decode_entry(line: &str) -> Option<JournalEntry> {
     s.link.messages = num_of("stats.link.messages")?;
     s.link.queue_delay_cycles = num_of("stats.link.queue_delay_cycles")?;
     s.link.busy_cycles = num_of("stats.link.busy_cycles")?;
+    s.link.dropped_messages = num_of("stats.link.dropped_messages")?;
+    s.link.corrupted_messages = num_of("stats.link.corrupted_messages")?;
     s.mem_reads = num_of("stats.mem_reads")?;
     s.mem_writes = num_of("stats.mem_writes")?;
     s.coherence.invalidations = num_of("stats.coherence.invalidations")?;
@@ -323,6 +583,16 @@ fn decode_entry(line: &str) -> Option<JournalEntry> {
     s.coherence.upgrades = num_of("stats.coherence.upgrades")?;
     s.coherence.inclusion_recalls = num_of("stats.coherence.inclusion_recalls")?;
     s.dropped_prefetches = num_of("stats.dropped_prefetches")?;
+    s.faults.codec_faults_injected = num_of("stats.faults.codec_faults_injected")?;
+    s.faults.codec_faults_detected = num_of("stats.faults.codec_faults_detected")?;
+    s.faults.fault_recoveries = num_of("stats.faults.fault_recoveries")?;
+    s.faults.lines_quarantined = num_of("stats.faults.lines_quarantined")?;
+    s.faults.link_faults_injected = num_of("stats.faults.link_faults_injected")?;
+    s.faults.link_retransmits = num_of("stats.faults.link_retransmits")?;
+    s.faults.mem_stall_bursts = num_of("stats.faults.mem_stall_bursts")?;
+    s.faults.mem_stall_cycles = num_of("stats.faults.mem_stall_cycles")?;
+    s.faults.dir_messages_lost = num_of("stats.faults.dir_messages_lost")?;
+    s.faults.dir_retries = num_of("stats.faults.dir_retries")?;
     Some(JournalEntry { workload, variant, seed, result: r })
 }
 
@@ -433,6 +703,8 @@ mod tests {
         s.link.messages = n();
         s.link.queue_delay_cycles = n();
         s.link.busy_cycles = n();
+        s.link.dropped_messages = n();
+        s.link.corrupted_messages = n();
         s.mem_reads = n();
         s.mem_writes = n();
         s.coherence.invalidations = n();
@@ -440,6 +712,16 @@ mod tests {
         s.coherence.upgrades = n();
         s.coherence.inclusion_recalls = n();
         s.dropped_prefetches = n();
+        s.faults.codec_faults_injected = n();
+        s.faults.codec_faults_detected = n();
+        s.faults.fault_recoveries = n();
+        s.faults.lines_quarantined = n();
+        s.faults.link_faults_injected = n();
+        s.faults.link_retransmits = n();
+        s.faults.mem_stall_bursts = n();
+        s.faults.mem_stall_cycles = n();
+        s.faults.dir_messages_lost = n();
+        s.faults.dir_retries = n();
         r
     }
 
@@ -518,6 +800,106 @@ mod tests {
         let other = Journal::new(&path, 0xbeef);
         assert_eq!(other.load_or_reset().unwrap(), vec![]);
         assert!(!path.exists(), "mismatched journal is deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_carry_verifiable_checksums() {
+        let e = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::Base,
+            seed: 3,
+            result: distinct_result(),
+        };
+        let line = encode_entry(&e);
+        assert!(check_seal(&line).is_ok());
+        assert!(matches!(decode_line(&line), Ok(Decoded::Entry(back)) if back == e));
+        // Flip one digit in the middle of the record: the crc catches it.
+        let mangled = line.replacen(":1,", ":7,", 1);
+        assert_ne!(mangled, line);
+        let err = decode_line(&mangled).unwrap_err();
+        assert!(err.contains("crc mismatch"), "got: {err}");
+        // Strip the crc entirely: also rejected.
+        assert!(decode_line("{\"workload\":\"apsi\"}").unwrap_err().contains("missing crc"));
+    }
+
+    #[test]
+    fn failure_records_accumulate_into_quarantine() {
+        let dir = std::env::temp_dir()
+            .join(format!("cmpsim-journal-quar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let j = Journal::new(dir.join("grid.jsonl"), 9);
+        j.append_failure("apsi", Variant::Prefetch, 11, "livelock at cycle 5:\n  core 0")
+            .unwrap();
+        let snap = j.load().unwrap();
+        assert_eq!(snap.failures[&("apsi".to_string(), Variant::Prefetch, 11)], 1);
+        assert!(snap.quarantined("apsi", Variant::Prefetch, 11).is_none(), "one strike left");
+        j.append_failure("apsi", Variant::Prefetch, 11, "livelock again").unwrap();
+        let snap = j.load().unwrap();
+        assert_eq!(snap.quarantined("apsi", Variant::Prefetch, 11), Some(2));
+        assert!(snap.quarantined("apsi", Variant::Base, 11).is_none(), "per-variant");
+        assert!(snap.quarantined("apsi", Variant::Prefetch, 12).is_none(), "per-seed");
+        assert!(snap.skipped.is_empty(), "failure records decode cleanly");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_skipped_with_line_number() {
+        let dir = std::env::temp_dir()
+            .join(format!("cmpsim-journal-crc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("grid.jsonl");
+        let j = Journal::new(&path, 5);
+        let mk = |w: &str| JournalEntry {
+            workload: w.into(),
+            variant: Variant::Base,
+            seed: 1,
+            result: distinct_result(),
+        };
+        j.append(&mk("apsi")).unwrap();
+        j.append(&mk("mgrid")).unwrap();
+        // Corrupt one digit of the first cell record (line 2), in place.
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = lines[1].replacen(":1,", ":7,", 1);
+        fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let snap = j.load().unwrap();
+        assert_eq!(snap.entries.len(), 1, "intact cell survives");
+        assert_eq!(snap.entries[0].workload, "mgrid");
+        assert_eq!(snap.skipped.len(), 1);
+        assert_eq!(snap.skipped[0].0, 2, "1-based line number");
+        assert!(snap.skipped[0].1.contains("crc mismatch"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_physically_truncated() {
+        let dir = std::env::temp_dir()
+            .join(format!("cmpsim-journal-tail-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("grid.jsonl");
+        let j = Journal::new(&path, 5);
+        let e = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::Base,
+            seed: 1,
+            result: distinct_result(),
+        };
+        j.append(&e).unwrap();
+        let intact = fs::read_to_string(&path).unwrap();
+        let mut torn = intact.clone();
+        torn.push_str("{\"workload\":\"mgr"); // kill mid-append, no newline
+        fs::write(&path, &torn).unwrap();
+        let snap = j.load().unwrap();
+        assert!(snap.repaired_tail);
+        assert_eq!(snap.entries, vec![e.clone()]);
+        assert_eq!(fs::read_to_string(&path).unwrap(), intact, "file repaired on disk");
+        // A fresh append after repair produces a clean, loadable journal.
+        j.append(&JournalEntry { workload: "mgrid".into(), ..e }).unwrap();
+        let snap = j.load().unwrap();
+        assert!(!snap.repaired_tail);
+        assert_eq!(snap.entries.len(), 2);
+        assert!(snap.skipped.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

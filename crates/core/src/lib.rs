@@ -53,8 +53,9 @@ mod system;
 pub mod telemetry;
 
 pub use cmpsim_fpc::CodecKind;
+pub use cmpsim_harness::chaos::{FaultPlan, FaultSite};
 pub use config::{PrefetchMode, SystemConfig, Variant};
 pub use error::{CellError, SimError};
-pub use stats::{LevelStats, RunResult, SimStats, TelemetrySample};
+pub use stats::{FaultStats, LevelStats, RunResult, SimStats, TelemetrySample};
 pub use system::System;
 pub use telemetry::{TraceKind, TraceOptions};

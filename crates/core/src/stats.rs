@@ -127,6 +127,38 @@ pub struct SimStats {
     pub coherence: CoherenceStats,
     /// Prefetches dropped for MSHR pressure or duplication.
     pub dropped_prefetches: u64,
+    /// Fault-injection and recovery activity (all zero unless a
+    /// `CMPSIM_CHAOS` plan is armed).
+    pub faults: FaultStats,
+}
+
+/// Counters for the deterministic chaos engine: injections per site and
+/// the graceful-degradation machinery they exercised. Deterministic for
+/// a given `CMPSIM_CHAOS` seed — these participate in `RunResult`
+/// equality, so the determinism suites cover fault schedules too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Codec bit-flips injected into resident compressed L2 lines.
+    pub codec_faults_injected: u64,
+    /// Injections caught by the per-line checksum (provably all of them;
+    /// counted from the actual comparison, not assumed).
+    pub codec_faults_detected: u64,
+    /// Corrupt-line recoveries: invalidate + refetch round trips.
+    pub fault_recoveries: u64,
+    /// Lines pinned to uncompressed storage after repeated faults.
+    pub lines_quarantined: u64,
+    /// Link messages lost or corrupted in transit.
+    pub link_faults_injected: u64,
+    /// NACK-triggered retransmits the link faults forced.
+    pub link_retransmits: u64,
+    /// Memory-controller stall bursts applied to responses.
+    pub mem_stall_bursts: u64,
+    /// Total extra cycles those stall bursts added.
+    pub mem_stall_cycles: u64,
+    /// Directory probe messages lost on-chip.
+    pub dir_messages_lost: u64,
+    /// Probe deliveries that needed at least one retry.
+    pub dir_retries: u64,
 }
 
 impl SimStats {

@@ -19,7 +19,8 @@ use crate::telemetry::{render_record, EngineTrace, TraceKind, TraceOptions, LIVE
 use cmpsim_cache::{
     AccessKind, BlockAddr, CompressionDecision, CompressionPolicy, SetAssocCache, SetAssocConfig,
 };
-use cmpsim_coherence::{CoreId, DirAction, DirEntry, L1Request, MsiState};
+use cmpsim_coherence::{deliver_with_retries, CoreId, DirAction, DirEntry, L1Request, MsiState};
+use cmpsim_harness::chaos::{FaultPlan, FaultSite};
 use cmpsim_harness::fastmap::{AddrMap, MemoCache};
 use cmpsim_harness::telemetry::{self as harness_telemetry, FlightRecorder, Record};
 use cmpsim_link::{Channel, Message};
@@ -27,7 +28,7 @@ use cmpsim_mem::MemoryController;
 use cmpsim_prefetch::{PrefetchThrottle, PrefetcherConfig, StridePrefetcher};
 use cmpsim_trace::{CoreGenerator, TraceEvent, WorkloadSpec};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 /// Sample the effective capacity ratio every this many demand L2 accesses.
@@ -50,6 +51,14 @@ const SEG_MEMO_SLOTS: usize = 1 << 16;
 /// remaining low bits of the key's lower word (64 − SLOT_BITS = 42) hold
 /// the schedule sequence number; see [`System::schedule`].
 const SLOT_BITS: u32 = 22;
+/// Detected-corruption strikes before a line is quarantined to
+/// uncompressed storage (chaos runs only).
+const QUARANTINE_STRIKES: u8 = 3;
+/// Delivery attempts (1 original + retransmits) before a faulted link
+/// transfer aborts the run with [`SimError::FaultBudgetExhausted`].
+const MAX_LINK_ATTEMPTS: u8 = 4;
+/// Delivery attempts per directory probe before the same abort.
+const MAX_DIR_ATTEMPTS: u32 = 4;
 
 /// Which private L1 a request belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +82,8 @@ enum Origin {
 enum Event {
     CoreStep { core: u8 },
     L2Access { core: u8, addr: BlockAddr, store: bool, upgrade: bool, origin: Origin, l1: L1Kind },
-    LinkRequest { addr: BlockAddr },
-    MemResponse { addr: BlockAddr },
+    LinkRequest { addr: BlockAddr, attempt: u8 },
+    MemResponse { addr: BlockAddr, attempt: u8 },
     L2Fill { addr: BlockAddr },
     L1Fill { core: u8, l1: L1Kind, addr: BlockAddr, prefetched: bool, store: bool },
 }
@@ -193,6 +202,22 @@ pub struct System {
     emergency_armed: bool,
     /// Whether this run's series artifact has been written.
     telemetry_flushed: bool,
+
+    /// Armed fault-injection plan (`CMPSIM_CHAOS`), or `None` (the
+    /// default). Every injection site is one branch on this option, and
+    /// every decision is a pure function of `(seed, site, cycle, addr)`,
+    /// so disarmed runs are bit-identical to builds without chaos and
+    /// armed runs replay bit-identically from the seed.
+    chaos: Option<FaultPlan>,
+    /// Detected-corruption strikes per block address; at
+    /// [`QUARANTINE_STRIKES`] the line is quarantined to uncompressed
+    /// storage.
+    fault_strikes: HashMap<u64, u8>,
+    /// Lines pinned to uncompressed storage after repeated corruption.
+    quarantined_lines: HashSet<u64>,
+    /// Fault-budget exhaustion raised inside an event handler; the run
+    /// loop surfaces it as the run's error after the handler returns.
+    pending_fault_error: Option<SimError>,
 }
 
 impl System {
@@ -213,7 +238,7 @@ impl System {
         let codec_max = cfg.codec.max_segments();
         let codec_segments = cfg.codec.segments_fn();
         let codec_decomp = cfg.codec.decompression_latency(cfg.decompression_latency);
-        System {
+        let mut sys = System {
             values,
             seg_cache: MemoCache::new(SEG_MEMO_SLOTS),
             codec_max,
@@ -269,8 +294,14 @@ impl System {
             next_sample,
             emergency_armed: false,
             telemetry_flushed: false,
+            chaos: None,
+            fault_strikes: HashMap::new(),
+            quarantined_lines: HashSet::new(),
+            pending_fault_error: None,
             cfg,
-        }
+        };
+        sys.set_chaos(FaultPlan::from_env());
+        sys
     }
 
     /// The configuration this system was built with.
@@ -288,6 +319,25 @@ impl System {
         self.trace = opts.map(|o| Box::new(EngineTrace::new(&o)));
         self.next_sample = self.trace.as_ref().map_or(u64::MAX, |t| t.next_sample);
         self.emergency_armed = false;
+    }
+
+    /// Overrides the `CMPSIM_CHAOS` environment decision for this system:
+    /// `Some(plan)` arms seeded fault injection, `None` disarms it. Tests
+    /// use this instead of mutating the process-global environment. Arming
+    /// chaos with no trace configured also arms a recorder-only emergency
+    /// trace, so a [`SimError::FaultBudgetExhausted`] abort always carries
+    /// a flight-recorder tail.
+    pub fn set_chaos(&mut self, plan: Option<FaultPlan>) {
+        self.chaos = plan;
+        if self.chaos.is_some() && self.trace.is_none() {
+            self.trace = Some(Box::new(EngineTrace::emergency()));
+            self.next_sample = u64::MAX;
+        }
+    }
+
+    /// The armed fault plan, if any.
+    pub fn chaos_plan(&self) -> Option<FaultPlan> {
+        self.chaos
     }
 
     /// Whether a trace (configured or emergency) is currently armed.
@@ -485,6 +535,9 @@ impl System {
             self.free_slots.push(idx);
             self.dispatch(ev);
             self.dispatched += 1;
+            if let Some(err) = self.pending_fault_error.take() {
+                return Err(err);
+            }
             if self.cfg.check_invariants && self.dispatched % INVARIANT_SAMPLE_PERIOD == 0 {
                 self.check_invariants_now()?;
             }
@@ -605,6 +658,24 @@ impl System {
         SimError::Livelock { cycle: self.now, window, diagnostic: d, recent_events }
     }
 
+    /// Raises a [`SimError::FaultBudgetExhausted`] with the recorder tail
+    /// (chaos arming guarantees a recorder exists) for the run loop to
+    /// surface after the current handler returns.
+    fn raise_fault_budget(&mut self, site: &'static str, addr: u64, attempts: u32) {
+        let recent_events = self
+            .trace
+            .as_ref()
+            .map(|t| t.recorder.last(LIVELOCK_EVENT_WINDOW).iter().map(render_record).collect())
+            .unwrap_or_default();
+        self.pending_fault_error = Some(SimError::FaultBudgetExhausted {
+            cycle: self.now,
+            site,
+            addr,
+            attempts,
+            recent_events,
+        });
+    }
+
     /// Full structural invariant sweep (sampled from `run`): VSC segment
     /// accounting, directory owner/sharer consistency, link flit
     /// conservation, and per-core MSHR budget accounting.
@@ -645,6 +716,8 @@ impl System {
     fn collect(&mut self, host_nanos: u64) -> RunResult {
         self.stats.link = *self.link.stats();
         self.stats.mem_reads = self.mem.stats().reads;
+        self.stats.faults.mem_stall_bursts = self.mem.stats().stall_bursts;
+        self.stats.faults.mem_stall_cycles = self.mem.stats().stall_cycles;
         let finish = self
             .cores
             .iter()
@@ -689,8 +762,8 @@ impl System {
             Event::L2Access { core, addr, store, upgrade, origin, l1 } => {
                 self.handle_l2_access(usize::from(core), addr, store, upgrade, origin, l1)
             }
-            Event::LinkRequest { addr } => self.handle_link_request(addr),
-            Event::MemResponse { addr } => self.handle_mem_response(addr),
+            Event::LinkRequest { addr, attempt } => self.handle_link_request(addr, attempt),
+            Event::MemResponse { addr, attempt } => self.handle_mem_response(addr, attempt),
             Event::L2Fill { addr } => self.handle_l2_fill(addr),
             Event::L1Fill { core, l1, addr, prefetched, store } => {
                 self.handle_l1_fill(usize::from(core), l1, addr, prefetched, store)
@@ -720,8 +793,13 @@ impl System {
         }
     }
 
-    /// Segments `addr` occupies when stored in the L2.
+    /// Segments `addr` occupies when stored in the L2. A line quarantined
+    /// by the fault-recovery path (chaos runs only) is pinned to
+    /// uncompressed storage regardless of policy.
     fn store_segments(&mut self, addr: BlockAddr) -> u8 {
+        if self.chaos.is_some() && self.quarantined_lines.contains(&addr.0) {
+            return self.codec_max;
+        }
         if self.cfg.cache_compression {
             let compress = !self.cfg.adaptive_compression
                 || self.policy.decision() == CompressionDecision::Compress;
@@ -1147,6 +1225,9 @@ impl System {
         let tag_done = start + self.cfg.l2_latency;
         let demandish = origin != Origin::L2Prefetch;
 
+        if self.chaos.is_some() {
+            self.chaos_codec_site(addr);
+        }
         let info = self.l2.lookup(addr);
 
         if origin == Origin::Demand {
@@ -1216,8 +1297,11 @@ impl System {
                 None => Vec::new(),
             };
             let probed = !actions.is_empty();
-            self.apply_probes(addr, &actions, false);
-            let resp = tag_done + decomp + if probed { self.cfg.probe_latency } else { 0 };
+            let lost = self.apply_probes(addr, &actions, false);
+            let resp = tag_done
+                + decomp
+                + if probed { self.cfg.probe_latency } else { 0 }
+                + lost * self.cfg.probe_latency;
             self.schedule(
                 resp + self.cfg.l1_to_l2_latency,
                 Event::L1Fill {
@@ -1283,22 +1367,68 @@ impl System {
             });
         }
         self.l2_mshrs.insert(addr.0, mshr);
-        self.schedule(tag_done, Event::LinkRequest { addr });
+        self.schedule(tag_done, Event::LinkRequest { addr, attempt: 0 });
     }
 
-    fn handle_link_request(&mut self, addr: BlockAddr) {
+    fn handle_link_request(&mut self, addr: BlockAddr, attempt: u8) {
         let for_prefetch = self
             .l2_mshrs
             .get(addr.0)
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
         let msg = Message::read_request(addr, for_prefetch);
+        if let Some(plan) = self.chaos {
+            // Link-drop site: the request's flits burn bandwidth but the
+            // message never arrives. Recovery is a NACK-style retransmit
+            // with exponential backoff, bounded by MAX_LINK_ATTEMPTS.
+            let key = addr.0 ^ (u64::from(attempt) << 56);
+            if plan.should_inject(FaultSite::LinkRequest, self.now, key) {
+                let tr = self.link.send_dropped(self.now, &msg);
+                self.stats.faults.link_faults_injected += 1;
+                self.trace_event(
+                    TraceKind::Fault,
+                    0,
+                    FaultSite::LinkRequest as u16,
+                    u32::from(attempt) + 1,
+                    addr.0,
+                );
+                let next = attempt + 1;
+                if next >= MAX_LINK_ATTEMPTS {
+                    self.raise_fault_budget("link-request", addr.0, u32::from(next));
+                    return;
+                }
+                self.stats.faults.link_retransmits += 1;
+                let backoff = self.cfg.probe_latency << next;
+                self.schedule(tr.done + backoff, Event::LinkRequest { addr, attempt: next });
+                self.trace_event(
+                    TraceKind::Fault,
+                    0,
+                    FaultSite::LinkRequest as u16 | 8,
+                    u32::from(next),
+                    addr.0,
+                );
+                return;
+            }
+        }
         let tr = self.link.send(self.now, &msg);
         self.trace_event(TraceKind::LinkFlit, 0, 0, msg.size_bytes() as u32, addr.0);
-        self.schedule(tr.done + self.cfg.mem_latency, Event::MemResponse { addr });
+        // Memory-stall site: the controller degrades gracefully by
+        // absorbing a bounded stall burst before responding.
+        let mut stall = 0;
+        if let Some(plan) = self.chaos {
+            if plan.should_inject(FaultSite::MemStall, self.now, addr.0) {
+                let entropy = plan.roll(FaultSite::MemStall, self.now, addr.0);
+                stall = self.mem.stall_burst(entropy);
+                self.trace_event(TraceKind::Fault, 0, FaultSite::MemStall as u16, stall as u32, addr.0);
+            }
+        }
+        self.schedule(
+            tr.done + self.cfg.mem_latency + stall,
+            Event::MemResponse { addr, attempt: 0 },
+        );
     }
 
-    fn handle_mem_response(&mut self, addr: BlockAddr) {
+    fn handle_mem_response(&mut self, addr: BlockAddr, attempt: u8) {
         let link_compression = self.cfg.link_compression;
         let fresh = if link_compression {
             self.segments_of(addr)
@@ -1313,9 +1443,91 @@ impl System {
             .map(|m| m.waiters.iter().all(|w| w.prefetched))
             .unwrap_or(true);
         let msg = Message::data_response(addr, segments, for_prefetch);
+        if let Some(plan) = self.chaos {
+            // Data-corruption site: the response crosses the link (flits
+            // burned) but arrives corrupt; the L2 NACKs it and memory
+            // re-sends, with the same bounded backoff as request drops.
+            let key = addr.0 ^ (u64::from(attempt) << 56);
+            if plan.should_inject(FaultSite::LinkData, self.now, key) {
+                let tr = self.link.send_corrupted(self.now, &msg);
+                self.stats.faults.link_faults_injected += 1;
+                self.trace_event(
+                    TraceKind::Fault,
+                    0,
+                    FaultSite::LinkData as u16,
+                    u32::from(attempt) + 1,
+                    addr.0,
+                );
+                let next = attempt + 1;
+                if next >= MAX_LINK_ATTEMPTS {
+                    self.raise_fault_budget("link-data", addr.0, u32::from(next));
+                    return;
+                }
+                self.stats.faults.link_retransmits += 1;
+                let backoff = self.cfg.probe_latency << next;
+                self.schedule(tr.done + backoff, Event::MemResponse { addr, attempt: next });
+                self.trace_event(
+                    TraceKind::Fault,
+                    0,
+                    FaultSite::LinkData as u16 | 8,
+                    u32::from(next),
+                    addr.0,
+                );
+                return;
+            }
+        }
         let tr = self.link.send(self.now, &msg);
         self.trace_event(TraceKind::LinkFlit, 0, 1, msg.size_bytes() as u32, addr.0);
         self.schedule(tr.done, Event::L2Fill { addr });
+    }
+
+    /// Codec-corruption injection site (chaos runs only): a resident
+    /// *compressed* line is hit by a seeded single-bit flip on its
+    /// decompression path. The FNV line checksum detects it (single-bit
+    /// flips are provably caught), recovery invalidates the line —
+    /// recalling L1 copies, writing nothing back — so the access refetches
+    /// clean data from memory, and [`QUARANTINE_STRIKES`] strikes pin the
+    /// address to uncompressed storage.
+    fn chaos_codec_site(&mut self, addr: BlockAddr) {
+        let Some(plan) = self.chaos else { return };
+        if !plan.should_inject(FaultSite::CodecLine, self.now, addr.0) {
+            return;
+        }
+        let compressed = self.l2.segments_of(addr).is_some_and(|s| s < self.codec_max);
+        if !compressed {
+            return;
+        }
+        self.stats.faults.codec_faults_injected += 1;
+        let bit = (plan.roll(FaultSite::CodecLine, self.now, addr.0) % 512) as u16;
+        let line = self.values.line_bytes(addr.0);
+        let detected = cmpsim_fpc::integrity::detects_corruption(&line, bit);
+        self.trace_event(TraceKind::Fault, 0, FaultSite::CodecLine as u16, u32::from(bit), addr.0);
+        if !detected {
+            return;
+        }
+        self.stats.faults.codec_faults_detected += 1;
+        if let Some(mut dir) = self.l2.invalidate(addr) {
+            let actions = dir.recall_all();
+            if !actions.is_empty() {
+                self.apply_probes(addr, &actions, true);
+            }
+        }
+        self.stats.faults.fault_recoveries += 1;
+        let strikes = {
+            let s = self.fault_strikes.entry(addr.0).or_insert(0);
+            *s = s.saturating_add(1);
+            *s
+        };
+        if strikes >= QUARANTINE_STRIKES && self.quarantined_lines.insert(addr.0) {
+            self.stats.faults.lines_quarantined += 1;
+        }
+        self.trace_event(
+            TraceKind::Fault,
+            0,
+            FaultSite::CodecLine as u16 | 8,
+            u32::from(strikes),
+            addr.0,
+        );
     }
 
     fn handle_l2_fill(&mut self, addr: BlockAddr) {
@@ -1341,9 +1553,9 @@ impl System {
                 Some(dir) => dir.handle(CoreId(w.core), req),
                 None => Vec::new(),
             };
-            self.apply_probes(addr, &actions, false);
+            let lost = self.apply_probes(addr, &actions, false);
             self.schedule(
-                self.now + self.cfg.l1_to_l2_latency + decomp,
+                self.now + self.cfg.l1_to_l2_latency + decomp + lost * self.cfg.probe_latency,
                 Event::L1Fill {
                     core: w.core,
                     l1: w.l1,
@@ -1392,10 +1604,60 @@ impl System {
     }
 
     /// Applies coherence probes to the target L1s structurally. Probe
-    /// latency is charged by the caller on the response path.
-    fn apply_probes(&mut self, addr: BlockAddr, actions: &[DirAction], inclusion: bool) {
-        for a in actions {
+    /// latency is charged by the caller on the response path. Returns the
+    /// number of probe messages lost to an armed chaos plan (each one
+    /// costs the caller an extra `probe_latency` of retransmission);
+    /// always 0 when chaos is disarmed. The MSI transition is applied
+    /// structurally even when the delivery budget is exhausted — the
+    /// protocol must not wedge — but the run then aborts with
+    /// [`SimError::FaultBudgetExhausted`].
+    fn apply_probes(&mut self, addr: BlockAddr, actions: &[DirAction], inclusion: bool) -> u64 {
+        let mut lost_total = 0u64;
+        for (i, a) in actions.iter().enumerate() {
             let t = a.target().index();
+            if let Some(plan) = self.chaos {
+                // Directory-message-loss site: each probe is delivered
+                // with a bounded retry budget.
+                let now = self.now;
+                let key = addr.0 ^ ((t as u64) << 40) ^ ((i as u64) << 48);
+                match deliver_with_retries(
+                    |k| {
+                        plan.should_inject(
+                            FaultSite::DirMessage,
+                            now,
+                            key.wrapping_add(u64::from(k) << 56),
+                        )
+                    },
+                    MAX_DIR_ATTEMPTS,
+                ) {
+                    Some(attempts) => {
+                        let lost = u64::from(attempts - 1);
+                        if lost > 0 {
+                            self.stats.faults.dir_messages_lost += lost;
+                            self.stats.faults.dir_retries += lost;
+                            lost_total += lost;
+                            self.trace_event(
+                                TraceKind::Fault,
+                                t as u8,
+                                FaultSite::DirMessage as u16 | 8,
+                                attempts,
+                                addr.0,
+                            );
+                        }
+                    }
+                    None => {
+                        self.stats.faults.dir_messages_lost += u64::from(MAX_DIR_ATTEMPTS);
+                        self.trace_event(
+                            TraceKind::Fault,
+                            t as u8,
+                            FaultSite::DirMessage as u16,
+                            MAX_DIR_ATTEMPTS,
+                            addr.0,
+                        );
+                        self.raise_fault_budget("dir-message", addr.0, MAX_DIR_ATTEMPTS);
+                    }
+                }
+            }
             if self.trace.is_some() {
                 let flags = match a {
                     DirAction::Invalidate(_) => 0,
@@ -1425,6 +1687,7 @@ impl System {
                 }
             }
         }
+        lost_total
     }
 
     // ------------------------------------------------------ L2 prefetches
@@ -1455,7 +1718,7 @@ impl System {
         }
         self.l2_mshrs
             .insert(addr.0, L2Mshr { waiters: Vec::new(), prefetch_core: Some(c as u8) });
-        self.schedule(at.max(self.now), Event::LinkRequest { addr });
+        self.schedule(at.max(self.now), Event::LinkRequest { addr, attempt: 0 });
     }
 
     fn drain_pf_queue(&mut self, c: usize) {

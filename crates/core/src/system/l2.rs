@@ -125,11 +125,21 @@ impl L2Cache {
     }
 
     /// Stored segment count of a resident line (8 in the classic cache).
-    #[allow(dead_code)] // part of the L2 facade; exercised by tests
     pub fn segments_of(&self, addr: BlockAddr) -> Option<u8> {
         match self {
             L2Cache::Classic(c) => c.peek(addr).map(|_| MAX_SEGMENTS),
             L2Cache::Vsc(c) => c.segments_of(addr),
+        }
+    }
+
+    /// Drops a resident line outright, returning its directory entry so
+    /// the caller can recall the L1 copies. The fault-recovery path uses
+    /// this for detected-corrupt lines: the data is untrustworthy, so it
+    /// is discarded (never written back) and refetched from memory.
+    pub fn invalidate(&mut self, addr: BlockAddr) -> Option<DirEntry> {
+        match self {
+            L2Cache::Classic(c) => c.invalidate(addr),
+            L2Cache::Vsc(c) => c.invalidate(addr).map(|(dir, _)| dir),
         }
     }
 
@@ -270,6 +280,21 @@ mod tests {
             assert!(info.prefetch_first_touch);
             assert_eq!(info.compressed, use_vsc, "classic never reports compressed");
             assert_eq!(l2.segments_of(a), Some(if use_vsc { 3 } else { 8 }));
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_line_and_returns_directory() {
+        for use_vsc in [false, true] {
+            let mut l2 = L2Cache::new(64 * 1024, use_vsc, 8);
+            let a = BlockAddr(7);
+            assert!(l2.invalidate(a).is_none(), "nothing resident yet");
+            l2.fill(a, 2, false, DirEntry::new());
+            assert!(l2.contains(a));
+            let dir = l2.invalidate(a);
+            assert!(dir.is_some(), "vsc={use_vsc}");
+            assert!(!l2.contains(a), "line gone after invalidate (vsc={use_vsc})");
+            assert!(l2.invalidate(a).is_none(), "second invalidate is a no-op");
         }
     }
 

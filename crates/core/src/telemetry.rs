@@ -58,6 +58,11 @@ pub enum TraceKind {
     AdaptiveMove = 9,
     /// A dirty line written back to memory (`arg` = stored segments).
     MemWrite = 10,
+    /// A chaos-engine fault injected or recovered from (`flags` = the
+    /// `FaultSite` discriminant, +8 when the record marks a recovery
+    /// action rather than the injection; `arg` = attempt count, strike
+    /// count, or extra stall cycles depending on the site).
+    Fault = 11,
 }
 
 impl TraceKind {
@@ -75,6 +80,7 @@ impl TraceKind {
             TraceKind::PrefetchFill => "pf-fill",
             TraceKind::AdaptiveMove => "adaptive",
             TraceKind::MemWrite => "mem-write",
+            TraceKind::Fault => "fault",
         }
     }
 
@@ -92,6 +98,7 @@ impl TraceKind {
             8 => TraceKind::PrefetchFill,
             9 => TraceKind::AdaptiveMove,
             10 => TraceKind::MemWrite,
+            11 => TraceKind::Fault,
             _ => return None,
         })
     }
@@ -168,6 +175,18 @@ pub fn render_record(r: &Record) -> String {
             r.arg
         ),
         TraceKind::MemWrite => format!("{head} 0x{:x} {} segs", r.addr, r.arg),
+        TraceKind::Fault => {
+            let site = match r.flags & 7 {
+                1 => "codec-line",
+                2 => "link-request",
+                3 => "link-data",
+                4 => "mem-stall",
+                5 => "dir-message",
+                _ => "site?",
+            };
+            let phase = if r.flags & 8 != 0 { "recover" } else { "inject" };
+            format!("{head} {phase} {site} 0x{:x} arg={}", r.addr, r.arg)
+        }
     }
 }
 
@@ -274,8 +293,8 @@ mod tests {
 
     #[test]
     fn kinds_round_trip() {
-        for k in 0..=10u8 {
-            let kind = TraceKind::from_u8(k).expect("taxonomy covers 0..=10");
+        for k in 0..=11u8 {
+            let kind = TraceKind::from_u8(k).expect("taxonomy covers 0..=11");
             assert_eq!(kind as u8, k);
             assert!(!kind.label().is_empty());
         }

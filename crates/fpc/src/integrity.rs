@@ -1,0 +1,115 @@
+//! Line-integrity primitives for the fault model.
+//!
+//! A compressed line that suffers a bit flip in storage or transit
+//! decompresses to the wrong bytes; the simulator's chaos engine models
+//! the *detection* side of that with a per-line checksum over the
+//! decompressed image (the role ECC or Touché-style tag signatures play
+//! in real designs). FNV-1a is used because single-byte corruption is
+//! **provably** detected: the per-byte step — xor the byte into the
+//! state, multiply by an odd prime — is a bijection on the state for a
+//! fixed byte, so two lines differing in any one byte can never collapse
+//! to the same digest (divergence introduced at the differing byte is
+//! preserved by every subsequent bijective step). A single-bit flip is a
+//! single-byte difference, hence always caught.
+
+use crate::segment::LINE_BYTES;
+
+/// 32-bit FNV-1a over a line's decompressed image.
+pub fn line_checksum(line: &[u8; LINE_BYTES]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in line {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Flips one bit of a line in place. `bit` is taken modulo the line's
+/// 512 bits, so any entropy source can drive it directly.
+pub fn flip_bit(line: &mut [u8; LINE_BYTES], bit: u16) {
+    let bit = usize::from(bit) % (LINE_BYTES * 8);
+    line[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Whether flipping `bit` of `line` is detected by [`line_checksum`].
+///
+/// Always true (see the module docs for why), but the simulator calls
+/// this rather than assuming so: the detection event in the model is the
+/// actual checksum comparison, not an axiom.
+pub fn detects_corruption(line: &[u8; LINE_BYTES], bit: u16) -> bool {
+    let mut corrupted = *line;
+    flip_bit(&mut corrupted, bit);
+    line_checksum(&corrupted) != line_checksum(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::compress;
+
+    fn patterned_lines() -> Vec<[u8; LINE_BYTES]> {
+        let mut lines = vec![[0u8; LINE_BYTES], [0xFF; LINE_BYTES]];
+        let mut small = [0u8; LINE_BYTES];
+        for (i, chunk) in small.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&(i as u32).to_le_bytes());
+        }
+        lines.push(small);
+        let mut noisy = [0u8; LINE_BYTES];
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for b in noisy.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = (state >> 56) as u8;
+        }
+        lines.push(noisy);
+        lines
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        for line in patterned_lines() {
+            for bit in 0..(LINE_BYTES * 8) as u16 {
+                assert!(detects_corruption(&line, bit), "bit {bit} slipped through");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_an_involution_and_wraps() {
+        let mut line = [0x5Au8; LINE_BYTES];
+        let orig = line;
+        flip_bit(&mut line, 3);
+        assert_ne!(line, orig);
+        flip_bit(&mut line, 3);
+        assert_eq!(line, orig);
+        // 512 + k wraps onto bit k.
+        flip_bit(&mut line, 512 + 9);
+        let mut expect = orig;
+        flip_bit(&mut expect, 9);
+        assert_eq!(line, expect);
+    }
+
+    #[test]
+    fn corruption_survives_a_compression_round_trip() {
+        // The fault model's premise: a bit flipped in the stored image
+        // reaches the consumer through decompression and the checksum of
+        // the decompressed bytes exposes it.
+        for line in patterned_lines() {
+            let crc = line_checksum(&line);
+            let mut stored = compress(&line).decompress();
+            assert_eq!(line_checksum(&stored), crc, "round trip is lossless");
+            flip_bit(&mut stored, 101);
+            assert_ne!(line_checksum(&stored), crc, "post-flip digest must differ");
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = [0u8; LINE_BYTES];
+        let mut b = [0u8; LINE_BYTES];
+        a[0] = 1;
+        b[1] = 1;
+        assert_ne!(line_checksum(&a), line_checksum(&b));
+    }
+}

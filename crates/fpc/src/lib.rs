@@ -38,6 +38,7 @@
 
 mod bdi;
 mod codec;
+pub mod integrity;
 mod line;
 mod pattern;
 mod segment;

@@ -32,6 +32,10 @@
 //!   series artifacts under `target/telemetry/`, and a stderr heartbeat
 //!   for live grid progress (`CMPSIM_PROGRESS`). Pure measurement: none
 //!   of it feeds back into simulation results.
+//! - [`chaos`] — deterministic fault-injection planning (`CMPSIM_CHAOS`):
+//!   a seeded [`chaos::FaultPlan`] whose per-site decisions are stateless
+//!   hashes of `(seed, site, cycle, key)`, so armed runs stay
+//!   bit-reproducible across thread counts.
 //!
 //! Everything here is deterministic for a fixed seed: property tests
 //! replay exactly, and the pool never changes *what* is computed, only
@@ -39,6 +43,7 @@
 //! run_grid_parallel`) stay bit-identical to their serial counterparts.
 
 pub mod bench;
+pub mod chaos;
 pub mod codec_conformance;
 pub mod fastmap;
 pub mod gen;
@@ -48,6 +53,7 @@ mod rng;
 pub mod supervise;
 pub mod telemetry;
 
+pub use chaos::{FaultPlan, FaultSite};
 pub use gen::Gen;
 pub use rng::Rng;
 pub use supervise::{run_supervised, JobOutcome, Supervisor};

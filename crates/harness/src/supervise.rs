@@ -97,11 +97,43 @@ impl Supervisor {
     }
 }
 
+/// Upper bound on a sane cell deadline: 24 hours. Anything larger is
+/// almost certainly a unit mistake (seconds or nanoseconds pasted into a
+/// milliseconds knob), so it is rejected rather than silently armed.
+const MAX_DEADLINE_MS: u64 = 24 * 60 * 60 * 1000;
+
 /// The per-job watchdog deadline configured in the environment
 /// (`CMPSIM_CELL_DEADLINE_MS`, milliseconds), if any.
+///
+/// Malformed, zero, or implausibly huge values warn on stderr and
+/// disable the deadline instead of silently misparsing.
 pub fn deadline_from_env() -> Option<Duration> {
-    let ms: u64 = std::env::var("CMPSIM_CELL_DEADLINE_MS").ok()?.parse().ok()?;
-    Some(Duration::from_millis(ms))
+    let raw = std::env::var("CMPSIM_CELL_DEADLINE_MS").ok()?;
+    match parse_deadline_ms(&raw) {
+        Ok(d) => d,
+        Err(why) => {
+            eprintln!("cmpsim: ignoring CMPSIM_CELL_DEADLINE_MS={raw:?}: {why}; deadline disabled");
+            None
+        }
+    }
+}
+
+/// Validates a `CMPSIM_CELL_DEADLINE_MS` value. `Ok(Some(_))` is an
+/// armed deadline; `Ok(None)` means an intentionally empty value
+/// (deadline off); `Err` describes why the value was rejected.
+fn parse_deadline_ms(raw: &str) -> Result<Option<Duration>, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    let ms: u64 = raw.parse().map_err(|e| format!("not a millisecond count ({e})"))?;
+    if ms == 0 {
+        return Err("a zero deadline would kill every cell immediately".to_string());
+    }
+    if ms > MAX_DEADLINE_MS {
+        return Err(format!("{ms} ms exceeds the {MAX_DEADLINE_MS} ms (24 h) sanity bound"));
+    }
+    Ok(Some(Duration::from_millis(ms)))
 }
 
 /// Renders a panic payload for reporting.
@@ -302,6 +334,32 @@ mod tests {
             retries: 0,
             backoff: Duration::from_millis(1),
         }
+    }
+
+    #[test]
+    fn deadline_parsing_accepts_sane_values() {
+        assert_eq!(parse_deadline_ms("250"), Ok(Some(Duration::from_millis(250))));
+        assert_eq!(parse_deadline_ms(" 1000 "), Ok(Some(Duration::from_millis(1000))));
+        assert_eq!(
+            parse_deadline_ms(&MAX_DEADLINE_MS.to_string()),
+            Ok(Some(Duration::from_millis(MAX_DEADLINE_MS)))
+        );
+        assert_eq!(parse_deadline_ms(""), Ok(None), "empty means deadline off");
+    }
+
+    #[test]
+    fn deadline_parsing_rejects_garbage_zero_and_huge() {
+        for garbage in ["abc", "12x", "-5", "1.5", "0x10", "1 000"] {
+            assert!(parse_deadline_ms(garbage).is_err(), "{garbage:?} should be rejected");
+        }
+        assert!(parse_deadline_ms("0").is_err(), "zero would kill every cell");
+        assert!(
+            parse_deadline_ms(&(MAX_DEADLINE_MS + 1).to_string()).is_err(),
+            "values past the 24 h sanity bound are a unit mistake"
+        );
+        assert!(parse_deadline_ms(&u64::MAX.to_string()).is_err());
+        // Overflow past u64 is garbage, not a huge deadline.
+        assert!(parse_deadline_ms("99999999999999999999999999").is_err());
     }
 
     #[test]

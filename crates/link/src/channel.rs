@@ -44,6 +44,13 @@ pub struct ChannelStats {
     pub queue_delay_cycles: u64,
     /// Cycles the link spent busy transferring.
     pub busy_cycles: u64,
+    /// Messages lost in transit by fault injection. The flits still
+    /// crossed the wire (their bytes and busy cycles are counted above);
+    /// only the payload never arrived.
+    pub dropped_messages: u64,
+    /// Messages whose flits were corrupted in transit by fault injection
+    /// (detected at the receiver, forcing a retransmit).
+    pub corrupted_messages: u64,
 }
 
 impl ChannelStats {
@@ -185,6 +192,28 @@ impl Channel {
         self.stats.busy_cycles += duration;
 
         Transfer { start, done }
+    }
+
+    /// Sends `msg` but loses it in transit: the flits occupy the lane
+    /// and burn bandwidth exactly like [`send`](Channel::send) — so the
+    /// conservation law checked by [`ChannelStats::check`] still holds —
+    /// but the caller must treat the payload as undelivered and retry.
+    /// Returns the occupancy window of the doomed transfer (its `done`
+    /// is when the loss could at the earliest be detected downstream).
+    pub fn send_dropped(&mut self, now: u64, msg: &Message) -> Transfer {
+        let tr = self.send(now, msg);
+        self.stats.dropped_messages += 1;
+        tr
+    }
+
+    /// Sends `msg` with its data flits corrupted in transit: delivery
+    /// timing and byte accounting match [`send`](Channel::send), but the
+    /// receiver's integrity check will reject the payload, forcing a
+    /// retransmit.
+    pub fn send_corrupted(&mut self, now: u64, msg: &Message) -> Transfer {
+        let tr = self.send(now, msg);
+        self.stats.corrupted_messages += 1;
+        tr
     }
 
     /// Traffic counters.
@@ -351,5 +380,29 @@ mod tests {
         assert_eq!(link.stats().total_bytes, 0);
         let t = link.send(0, &Message::data_response(BlockAddr(1), 8, false));
         assert_eq!(t.start, 18, "stats reset must not free the link early");
+    }
+
+    #[test]
+    fn faulted_sends_burn_bandwidth_and_keep_conservation() {
+        let mut link = Channel::new(LinkBandwidth::GBps(20), 5);
+        let good = link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let dropped = link.send_dropped(0, &Message::read_request(BlockAddr(1), false));
+        let corrupt = link.send_corrupted(0, &Message::data_response(BlockAddr(2), 8, false));
+
+        // Timing is identical to an intact send: the doomed message still
+        // occupied its lane (the corrupt response queued behind the good
+        // one; the dropped request rode the free upstream lane).
+        assert_eq!(dropped.start, 0);
+        assert_eq!(corrupt.start, good.done);
+
+        let s = link.stats();
+        assert_eq!(s.dropped_messages, 1);
+        assert_eq!(s.corrupted_messages, 1);
+        assert_eq!(s.messages, 3, "faulted messages are still traffic");
+        assert_eq!(s.check(), Ok(()), "flit conservation must survive faults");
+
+        link.reset_stats();
+        assert_eq!(link.stats().dropped_messages, 0);
+        assert_eq!(link.stats().corrupted_messages, 0);
     }
 }

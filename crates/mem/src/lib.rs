@@ -56,6 +56,11 @@ pub struct MemoryStats {
     pub writes: u64,
     /// Reads that returned a compressed-form line.
     pub compressed_reads: u64,
+    /// Fault-injected stall bursts (refresh storms, ECC scrubs) applied
+    /// to responses.
+    pub stall_bursts: u64,
+    /// Total extra cycles those bursts added.
+    pub stall_cycles: u64,
 }
 
 /// The off-chip memory controller + DRAM array.
@@ -146,6 +151,18 @@ impl MemoryController {
         self.stats.writes += 1;
     }
 
+    /// Applies a fault-injected stall burst to one response: a refresh
+    /// storm or ECC scrub delaying the controller. `entropy` (from the
+    /// fault plan) picks the burst length deterministically, between a
+    /// quarter and one-and-a-quarter DRAM latencies; the caller adds the
+    /// returned extra cycles to the response's completion time.
+    pub fn stall_burst(&mut self, entropy: u64) -> u64 {
+        let extra = self.latency / 4 + 1 + entropy % self.latency.max(1);
+        self.stats.stall_bursts += 1;
+        self.stats.stall_cycles += extra;
+        extra
+    }
+
     /// The stored form of `addr`, if it has ever been touched.
     pub fn stored_form(&self, addr: BlockAddr) -> Option<StoredForm> {
         self.stored.get(&addr).copied()
@@ -208,6 +225,27 @@ mod tests {
         mem.reset_stats();
         assert_eq!(mem.stats().reads, 0);
         assert!(mem.stored_form(BlockAddr(0)).is_some(), "contents survive reset");
+    }
+
+    #[test]
+    fn stall_bursts_are_bounded_and_counted() {
+        let mut mem = MemoryController::new(400);
+        let mut total = 0;
+        for entropy in [0u64, 17, 399, 400, u64::MAX] {
+            let extra = mem.stall_burst(entropy);
+            assert!(extra >= 400 / 4 + 1, "burst at least a quarter latency: {extra}");
+            assert!(extra <= 400 / 4 + 400, "burst bounded: {extra}");
+            assert_eq!(extra, mem.stall_burst(entropy) , "same entropy, same burst");
+            total += extra * 2;
+        }
+        assert_eq!(mem.stats().stall_bursts, 10);
+        assert_eq!(mem.stats().stall_cycles, total);
+        mem.reset_stats();
+        assert_eq!(mem.stats().stall_bursts, 0);
+        assert_eq!(mem.stats().stall_cycles, 0);
+        // A zero-latency controller must still make a positive burst.
+        let mut fast = MemoryController::new(0);
+        assert!(fast.stall_burst(5) > 0);
     }
 
     #[test]

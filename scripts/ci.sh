@@ -20,7 +20,7 @@ echo "== supervision + determinism suites =="
 # Named explicitly (they also run as part of --workspace above) so a
 # failure in the resilience contract is unmissable in the CI log.
 cargo test -q --offline -p cmpsim-harness supervise
-cargo test -q --offline --test determinism --test resilience
+cargo test -q --offline --test determinism --test resilience --test chaos
 
 echo "== codec conformance + differential oracle suites =="
 # Cross-codec law kit (round-trip, sizing agreement, zero-fill
@@ -57,6 +57,22 @@ ls "$trace_dir"/*.jsonl > /dev/null || {
 cargo run -q --release --offline --example timeline -- --check \
     "$(ls "$trace_dir"/*.jsonl | head -1)"
 rm -rf "$trace_dir"
+
+echo "== chaos gates: disarmed inertness + seeded bit-reproducibility =="
+# Disarmed inertness is already pinned by the digest gates above: the
+# chaos engine is compiled in but unarmed there, and the goldens predate
+# it — any leak of fault machinery into a disarmed run churns the
+# digest. Armed runs must be bit-reproducible from the seed alone, so
+# the chaos smoke (which also asserts 1/2/8-thread invariance and
+# prints the per-site fault table) is run twice and diffed byte-for-byte.
+chaos_a=$(mktemp) chaos_b=$(mktemp)
+CMPSIM_CHAOS=7:0.02 cargo run -q --release --offline --example chaos_smoke > "$chaos_a"
+CMPSIM_CHAOS=7:0.02 cargo run -q --release --offline --example chaos_smoke > "$chaos_b"
+diff "$chaos_a" "$chaos_b" || {
+    echo "armed chaos run is not bit-reproducible from its seed" >&2
+    exit 1
+}
+rm -f "$chaos_a" "$chaos_b"
 
 echo "== throughput baseline (smoke grid, JSON artifact) =="
 # Engine events/sec and committed MIPS per variant on the smoke grid;

@@ -48,8 +48,9 @@ pub use cmpsim_core::{
         across_seeds, run_grid_parallel, run_grid_resilient, run_grid_serial, run_variant,
         GridCell, ResilienceOptions, SimLength, VariantGrid,
     },
-    metrics, report, telemetry, CellError, CodecKind, PrefetchMode, RunResult, SimError, SimStats,
-    System, SystemConfig, TelemetrySample, TraceKind, TraceOptions, Variant,
+    metrics, report, telemetry, CellError, CodecKind, FaultPlan, FaultSite, FaultStats,
+    PrefetchMode, RunResult, SimError, SimStats, System, SystemConfig, TelemetrySample, TraceKind,
+    TraceOptions, Variant,
 };
 pub use cmpsim_link::LinkBandwidth;
 pub use cmpsim_trace::{all_workloads, commercial_workloads, scientific_workloads, workload};

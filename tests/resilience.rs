@@ -272,6 +272,166 @@ fn killed_sweep_resumes_from_journal_bit_identically() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Kill-mid-append crash safety, exhaustively: truncating the journal at
+/// **every byte offset** (simulating a kill at any instant of a write)
+/// must never lose an intact cell, never resurrect a torn one, and never
+/// break the loader.
+#[test]
+fn journal_truncated_at_every_byte_offset_recovers_all_intact_cells() {
+    let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
+    let base = small_base();
+    let len = short();
+    let path = temp_journal("torn-every-offset");
+    let fp = journal::fingerprint(&base, len);
+    let opts = ResilienceOptions {
+        supervisor: quick_supervisor(),
+        journal: Some(path.clone()),
+    };
+    let full = run_cells_resilient(&specs, &base, &VARIANTS, fp, &opts, move |s, b, v| {
+        run_variant(s, b, v, len)
+    });
+    assert!(full.iter().all(Result::is_ok));
+    let bytes = std::fs::read(&path).expect("journal written");
+    assert_eq!(
+        bytes.iter().filter(|&&b| b == b'\n').count(),
+        1 + specs.len() * VARIANTS.len(),
+        "header + one line per cell"
+    );
+
+    let torn = temp_journal("torn-every-offset-cut");
+    for cut in 0..bytes.len() {
+        let prefix = &bytes[..cut];
+        std::fs::write(&torn, prefix).unwrap();
+        let j = journal::Journal::new(&torn, fp);
+        let snap = j.load().unwrap_or_else(|e| panic!("load failed at cut {cut}: {e}"));
+        let complete_lines = prefix.iter().filter(|&&b| b == b'\n').count();
+        let expected = complete_lines.saturating_sub(1); // header eats one line
+        assert_eq!(
+            snap.entries.len(),
+            expected,
+            "cut at byte {cut}: every cell whose line fully reached disk must survive"
+        );
+        assert!(snap.skipped.is_empty(), "cut at {cut}: a torn tail is repair, not corruption");
+        // The repair is physical: the file now ends at a record boundary,
+        // so appending resumes cleanly.
+        let on_disk = std::fs::read(&torn).unwrap_or_default();
+        assert!(
+            on_disk.is_empty() || on_disk.ends_with(b"\n"),
+            "cut at {cut}: repaired file must end on a record boundary"
+        );
+    }
+    let _ = std::fs::remove_file(&torn);
+
+    // Driver-level resume across a mid-record kill: truncate into the
+    // last record, then re-run the sweep. Only the torn cell re-runs and
+    // the assembled grid is bit-identical to the uninterrupted serial one.
+    let last_line_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .unwrap()
+        + 1;
+    let cut = last_line_start + (bytes.len() - 1 - last_line_start) / 2;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&calls);
+    let resumed = run_cells_resilient(&specs, &base, &VARIANTS, fp, &opts, move |s, b, v| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        run_variant(s, b, v, len)
+    });
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "only the torn cell re-runs");
+    let serial = run_grid_serial(&specs, &base, &VARIANTS, len).unwrap();
+    let cells: Vec<_> = resumed.into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(serial, cells, "post-repair resume diverged from the uninterrupted run");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A cell that keeps failing is journaled each time; once it reaches
+/// [`journal::MAX_CELL_FAILURES`] journaled failures, resume quarantines
+/// it — an explicit [`CellError::Quarantined`], zero re-runs — until the
+/// journal is deleted.
+#[test]
+fn repeatedly_failing_cell_is_quarantined_on_resume() {
+    let specs = vec![workload("zeus").unwrap()];
+    let base = small_base();
+    let len = short();
+    let variants = [Variant::Base];
+    let path = temp_journal("quarantine");
+    let fp = journal::fingerprint(&base, len);
+    let opts = ResilienceOptions {
+        supervisor: quick_supervisor(),
+        journal: Some(path.clone()),
+    };
+    let calls = Arc::new(AtomicUsize::new(0));
+    let failing = |calls: Arc<AtomicUsize>| {
+        move |_: &cmpsim_trace::WorkloadSpec, _: &SystemConfig, _: Variant| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(SimError::InvariantViolation {
+                cycle: 1,
+                subsystem: "l2",
+                detail: "injected persistent failure".to_string(),
+            })
+        }
+    };
+
+    // Strikes 1 and 2: the cell runs (and fails) each time.
+    for strike in 1..=journal::MAX_CELL_FAILURES {
+        let out = run_cells_resilient(
+            &specs,
+            &base,
+            &variants,
+            fp,
+            &opts,
+            failing(Arc::clone(&calls)),
+        );
+        assert!(
+            matches!(&out[0], Err(CellError::Sim { .. })),
+            "strike {strike} should surface the SimError: {:?}",
+            out[0]
+        );
+        assert_eq!(calls.load(Ordering::SeqCst) as u32, strike);
+    }
+
+    // Strike 3: quarantined — the cell function must not even be called.
+    let out = run_cells_resilient(
+        &specs,
+        &base,
+        &variants,
+        fp,
+        &opts,
+        failing(Arc::clone(&calls)),
+    );
+    match &out[0] {
+        Err(CellError::Quarantined { workload, variant, failures }) => {
+            assert_eq!(*workload, "zeus");
+            assert_eq!(*variant, Variant::Base);
+            assert_eq!(*failures, journal::MAX_CELL_FAILURES);
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst) as u32,
+        journal::MAX_CELL_FAILURES,
+        "a quarantined cell must not re-run"
+    );
+    let msg = out[0].as_ref().unwrap_err().to_string();
+    assert!(msg.contains("quarantined"), "error should explain itself: {msg}");
+    assert!(msg.contains("delete the journal"), "and name the remedy: {msg}");
+
+    // Deleting the journal lifts the quarantine.
+    std::fs::remove_file(&path).unwrap();
+    let out = run_cells_resilient(
+        &specs,
+        &base,
+        &variants,
+        fp,
+        &opts,
+        failing(Arc::clone(&calls)),
+    );
+    assert!(matches!(&out[0], Err(CellError::Sim { .. })));
+    assert_eq!(calls.load(Ordering::SeqCst) as u32, journal::MAX_CELL_FAILURES + 1);
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A journal written under one sweep definition must not poison a
 /// different one: changing the fingerprint resets the journal and every
 /// cell re-runs.
