@@ -12,10 +12,14 @@
 
 use cmpsim_bench::SEED;
 use cmpsim_core::experiment::{run_grid_serial, GridCell, SimLength};
-use cmpsim_core::report::throughput_summary;
+use cmpsim_core::report::{
+    codec_throughput_summary, codec_throughput_table, measure_codec_throughput,
+    throughput_summary,
+};
 use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_fpc::{CodecKind, LINE_BYTES};
 use cmpsim_harness::bench::Runner;
-use cmpsim_trace::all_workloads;
+use cmpsim_trace::{all_workloads, LineClass};
 
 const VARIANTS: [Variant; 4] =
     [Variant::Base, Variant::BothCompression, Variant::Prefetch, Variant::PrefetchCompression];
@@ -81,4 +85,61 @@ fn main() {
     println!("{}", throughput_summary(all_cells.iter().map(|c| &c.result)));
     let path = r.write_json().expect("write bench artifact");
     println!("throughput artifact: {}", path.display());
+
+    codec_throughput_bench();
+}
+
+/// Workload classes the codec-throughput suite samples, spanning the
+/// compressibility landscape of `crates/trace`: all-zero lines, small
+/// integers, pointers, sparse and dense floating point, and high-entropy
+/// bytes.
+const CODEC_CLASSES: [(&str, LineClass); 6] = [
+    ("zero", LineClass::Zero),
+    ("small_int", LineClass::SmallInt),
+    ("pointer", LineClass::Pointer),
+    ("fp_sparse", LineClass::Fp { zero_word_permille: 400 }),
+    ("fp_dense", LineClass::Fp { zero_word_permille: 0 }),
+    ("random", LineClass::Random),
+];
+
+/// Lines per class in the measured batch — enough to defeat trivial
+/// branch-predictor memorization while staying cache-resident, so the
+/// numbers measure the decoders rather than memory.
+const CODEC_LINES: usize = 256;
+
+/// Per-codec compression/decompression throughput over the workload
+/// classes, as a second artifact (`target/bench/codec_throughput.json`):
+/// the pcodec-style record CI compares PR-over-PR, with the scalar
+/// reference decoder measured alongside the dispatch-table/SWAR fast path
+/// so decode speedups stay visible.
+fn codec_throughput_bench() {
+    let iters = env_u64("CMPSIM_CODEC_ITERS").unwrap_or(200) as u32;
+    let mut r = Runner::new("codec_throughput", 1, 3);
+    let mut rows = Vec::new();
+    for (label, class) in CODEC_CLASSES {
+        let mut lines = vec![[0u8; LINE_BYTES]; CODEC_LINES];
+        for (i, line) in lines.iter_mut().enumerate() {
+            // Deterministic per-line entropy: same content every run, so
+            // PR-over-PR artifact deltas measure code, not data.
+            let addr_hash = (i as u64 ^ SEED).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            class.fill(addr_hash, line);
+        }
+        for kind in CodecKind::all() {
+            // One unrecorded warmup pass, then the measured sample.
+            measure_codec_throughput(kind, label, &lines, iters.div_ceil(4));
+            let row = measure_codec_throughput(kind, label, &lines, iters);
+            let p = row.metric_prefix();
+            r.metric(&format!("{p}/compress_mwps"), row.compress_mwps);
+            r.metric(&format!("{p}/decompress_mwps"), row.decompress_mwps);
+            r.metric(&format!("{p}/reference_mwps"), row.reference_mwps);
+            r.metric(&format!("{p}/compress_gbps"), row.compress_gbps);
+            r.metric(&format!("{p}/decompress_gbps"), row.decompress_gbps);
+            r.metric(&format!("{p}/decode_speedup"), row.decode_speedup);
+            rows.push(row);
+        }
+    }
+    codec_throughput_table(&rows).print("codec throughput (per workload class)");
+    println!("{}", codec_throughput_summary(&rows));
+    let path = r.write_json().expect("write codec bench artifact");
+    println!("codec throughput artifact: {}", path.display());
 }

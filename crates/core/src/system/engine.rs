@@ -129,6 +129,13 @@ pub struct System {
     /// [`CodecKind::segments_fn`] at construction so the hot path is a
     /// direct indirect call with no per-line enum dispatch.
     codec_segments: fn(&[u8; cmpsim_fpc::LINE_BYTES]) -> u8,
+    /// The configured codec's compress → fast-decode round trip, resolved
+    /// once from [`CodecKind::image_fn`]: every site that must
+    /// *materialize* the bytes a compressed line stores or delivers
+    /// (chaos integrity checks, corrupted-delivery verification, the
+    /// sampled round-trip invariant) goes through this pointer, so line
+    /// reconstruction always rides the dispatch-table/SWAR decoders.
+    codec_image: fn(&[u8; cmpsim_fpc::LINE_BYTES]) -> [u8; cmpsim_fpc::LINE_BYTES],
     /// Decompression penalty (cycles) under the configured codec's
     /// latency model, applied to compressed L2 hits and fills.
     codec_decomp: u64,
@@ -237,12 +244,14 @@ impl System {
         // become plain fields so the event loop never matches on the kind.
         let codec_max = cfg.codec.max_segments();
         let codec_segments = cfg.codec.segments_fn();
+        let codec_image = cfg.codec.image_fn();
         let codec_decomp = cfg.codec.decompression_latency(cfg.decompression_latency);
         let mut sys = System {
             values,
             seg_cache: MemoCache::new(SEG_MEMO_SLOTS),
             codec_max,
             codec_segments,
+            codec_image,
             codec_decomp,
             now: 0,
             seq: 0,
@@ -687,6 +696,25 @@ impl System {
         };
         self.l2.check_invariants().map_err(|e| at("l2", e))?;
         self.link.stats().check().map_err(|e| at("link", e))?;
+        // Codec round-trip law, probed on a cycle-derived address: the
+        // configured codec's fast decoder must reproduce the line the
+        // sizing path charged for, and the size must stay in the segment
+        // frame. Check-only — the probe reads the pure value model and
+        // touches no simulation state.
+        let probe = self.values.line_bytes(self.now ^ 0x9E37_79B9_7F4A_7C15);
+        if (self.codec_image)(&probe) != probe {
+            return Err(at(
+                "codec",
+                "compress → decompress round trip is not the identity".to_string(),
+            ));
+        }
+        let seg = (self.codec_segments)(&probe);
+        if seg == 0 || seg > self.codec_max {
+            return Err(at(
+                "codec",
+                format!("sized probe line at {seg} segments, outside 1..={}", self.codec_max),
+            ));
+        }
         for (i, slot) in self.cores.iter().enumerate() {
             if let Some(core) = slot {
                 if core.outstanding > self.cfg.mshrs_per_core {
@@ -1451,6 +1479,26 @@ impl System {
             if plan.should_inject(FaultSite::LinkData, self.now, key) {
                 let tr = self.link.send_corrupted(self.now, &msg);
                 self.stats.faults.link_faults_injected += 1;
+                // Receiver-side integrity gate: materialize the delivered
+                // image through the codec's fast decoder, apply the seeded
+                // in-transit flip, and verify against the pre-send
+                // checksum. A single-bit flip always fails the FNV check,
+                // so every corrupted delivery takes the NACK path below.
+                let line = self.values.line_bytes(addr.0);
+                let mut delivered = (self.codec_image)(&line);
+                let bit = (plan.roll(FaultSite::LinkData, self.now, key) % 512) as u16;
+                cmpsim_fpc::integrity::flip_bit(&mut delivered, bit);
+                let intact = Channel::payload_intact(
+                    &delivered,
+                    cmpsim_fpc::integrity::line_checksum(&line),
+                );
+                debug_assert!(!intact, "single-bit corruption must never verify");
+                if intact {
+                    // Unreachable for single-bit faults; accept the fill.
+                    self.trace_event(TraceKind::LinkFlit, 0, 1, msg.size_bytes() as u32, addr.0);
+                    self.schedule(tr.done, Event::L2Fill { addr });
+                    return;
+                }
                 self.trace_event(
                     TraceKind::Fault,
                     0,
@@ -1499,8 +1547,15 @@ impl System {
         }
         self.stats.faults.codec_faults_injected += 1;
         let bit = (plan.roll(FaultSite::CodecLine, self.now, addr.0) % 512) as u16;
+        // Materialize what the L2 actually stores by round-tripping the
+        // line through the configured codec's fast decoder; the codec is
+        // lossless, so the image equals the source line and detection is
+        // unchanged — but the corruption check now exercises the real
+        // dispatch-table/SWAR decode path instead of assuming it.
         let line = self.values.line_bytes(addr.0);
-        let detected = cmpsim_fpc::integrity::detects_corruption(&line, bit);
+        let image = (self.codec_image)(&line);
+        debug_assert_eq!(image, line, "codec round trip must be lossless");
+        let detected = cmpsim_fpc::integrity::detects_corruption(&image, bit);
         self.trace_event(TraceKind::Fault, 0, FaultSite::CodecLine as u16, u32::from(bit), addr.0);
         if !detected {
             return;

@@ -145,6 +145,26 @@ impl CompressedRepr for BdiLine {
         match self {
             BdiLine::Zeros => [0u8; LINE_BYTES],
             BdiLine::BaseDelta { elem_bytes, base, immediate, deltas, .. } => {
+                let mut out = [0u8; LINE_BYTES];
+                // Monomorphize on the element width so each variant's
+                // shifts and masks are compile-time constants.
+                match elem_bytes {
+                    2 => expand_elements::<2>(*base, *immediate, deltas, &mut out),
+                    4 => expand_elements::<4>(*base, *immediate, deltas, &mut out),
+                    _ => expand_elements::<8>(*base, *immediate, deltas, &mut out),
+                }
+                out
+            }
+            BdiLine::Uncompressed(raw) => **raw,
+        }
+    }
+
+    fn decompress_reference(&self) -> [u8; LINE_BYTES] {
+        match self {
+            BdiLine::Zeros => [0u8; LINE_BYTES],
+            BdiLine::BaseDelta { elem_bytes, base, immediate, deltas, .. } => {
+                // The scalar oracle: per-element base select via branch,
+                // per-element narrow byte copy.
                 let k = usize::from(*elem_bytes);
                 let mut out = [0u8; LINE_BYTES];
                 for (i, delta) in deltas.iter().enumerate() {
@@ -156,6 +176,34 @@ impl CompressedRepr for BdiLine {
             }
             BdiLine::Uncompressed(raw) => **raw,
         }
+    }
+}
+
+/// SWAR reconstruction of a base-delta payload, monomorphized per element
+/// width `K`: for each element the stored base is selected branchlessly
+/// against the implicit zero base (an all-ones/all-zeros mask derived from
+/// the immediate bit), the unsigned delta is added at full width, and
+/// `8 / K` reconstructed elements are packed into each output `u64` so the
+/// line goes out as eight 64-bit stores regardless of element width.
+fn expand_elements<const K: usize>(
+    base: u64,
+    immediate: u32,
+    deltas: &[u64],
+    out: &mut [u8; LINE_BYTES],
+) {
+    let per_store = 8 / K;
+    let elem_mask: u64 = if K == 8 { u64::MAX } else { (1u64 << (8 * K)) - 1 };
+    for (g, chunk) in out.chunks_exact_mut(8).enumerate() {
+        let mut packed = 0u64;
+        for e in 0..per_store {
+            let i = g * per_store + e;
+            // All-zeros when bit i flags an immediate (zero-base) element,
+            // all-ones when the element reconstructs from the stored base.
+            let keep = u64::from(immediate >> i & 1).wrapping_sub(1);
+            let v = (base & keep).wrapping_add(deltas[i]) & elem_mask;
+            packed |= v << (8 * K * e);
+        }
+        chunk.copy_from_slice(&packed.to_le_bytes());
     }
 }
 

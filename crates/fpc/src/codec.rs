@@ -33,7 +33,17 @@ pub trait CompressedRepr {
 
     /// Reconstructs the original line. Lossless: for any codec `C`,
     /// `C::compress(&line).decompress() == line`.
+    ///
+    /// This is the codec's *fast* decode path (dispatch-table/SWAR); the
+    /// conformance kit's decode law pins it byte-for-byte against
+    /// [`CompressedRepr::decompress_reference`].
     fn decompress(&self) -> [u8; LINE_BYTES];
+
+    /// Scalar reference decoder: a deliberately independent, per-element
+    /// implementation kept in-tree as the differential oracle for
+    /// [`CompressedRepr::decompress`] and as the baseline the
+    /// codec-throughput gate measures decode speedups against.
+    fn decompress_reference(&self) -> [u8; LINE_BYTES];
 }
 
 /// A cache-line compression scheme.
@@ -87,6 +97,10 @@ impl CompressedRepr for CompressedLine {
 
     fn decompress(&self) -> [u8; LINE_BYTES] {
         CompressedLine::decompress(self)
+    }
+
+    fn decompress_reference(&self) -> [u8; LINE_BYTES] {
+        CompressedLine::decompress_reference(self)
     }
 }
 
@@ -150,6 +164,24 @@ impl CodecKind {
             CodecKind::Fpc => Fpc::segments,
             CodecKind::Bdi => crate::Bdi::segments,
             CodecKind::Zca => crate::Zca::segments,
+        }
+    }
+
+    /// The selected codec's compress → fast-decode round trip, as one
+    /// monomorphized `fn` pointer. The engine and link resolve this once
+    /// at construction and use it wherever they must *materialize* the
+    /// bytes a compressed line stores or delivers (chaos integrity checks,
+    /// invariant probes, corrupted-delivery verification), so those sites
+    /// ride the dispatch-table/SWAR decoders with no per-line enum branch.
+    /// For every lossless codec this is an identity on the line image.
+    pub fn image_fn(self) -> fn(&[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
+        fn image<C: Codec>(line: &[u8; LINE_BYTES]) -> [u8; LINE_BYTES] {
+            C::compress(line).decompress()
+        }
+        match self {
+            CodecKind::Fpc => image::<Fpc>,
+            CodecKind::Bdi => image::<crate::Bdi>,
+            CodecKind::Zca => image::<crate::Zca>,
         }
     }
 
@@ -218,6 +250,27 @@ mod tests {
             assert_eq!((kind.segments_fn())(&zero), 1, "{kind}: zero line is minimal");
         }
         assert_eq!(CodecKind::default(), CodecKind::Fpc);
+    }
+
+    #[test]
+    fn image_fn_is_identity_and_reference_decode_agrees() {
+        let mut lines = vec![[0u8; LINE_BYTES], [0x7Fu8; LINE_BYTES]];
+        let mut mixed = [0u8; LINE_BYTES];
+        for (i, b) in mixed.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37) | u8::from(i % 3 == 0) * 0x80;
+        }
+        lines.push(mixed);
+        for kind in CodecKind::all() {
+            let image = kind.image_fn();
+            for line in &lines {
+                assert_eq!(image(line), *line, "{kind}: compress→decode must be lossless");
+            }
+        }
+        for line in &lines {
+            assert_eq!(Fpc::compress(line).decompress_reference(), *line);
+            assert_eq!(crate::Bdi::compress(line).decompress_reference(), *line);
+            assert_eq!(crate::Zca::compress(line).decompress_reference(), *line);
+        }
     }
 
     #[test]

@@ -1,17 +1,112 @@
 //! Line-level FPC compression: tokenization, sizing and exact decompression.
 
-use crate::pattern::{encode_word_sized, Token, MAX_ZERO_RUN};
+use crate::pattern::{
+    encode_word_packed, Token, MAX_ZERO_RUN, PACKED_PAYLOAD_SHIFT, PACKED_PREFIX_MASK,
+};
 use crate::segment::{bits_to_segments, LINE_BYTES, MAX_SEGMENTS, WORDS_PER_LINE};
 
 /// A losslessly compressed 64-byte cache line.
 ///
-/// Holds the token stream plus the pre-computed encoded size. Construct via
-/// [`compress`]; recover the original bytes with
-/// [`CompressedLine::decompress`].
+/// Holds the token stream in its [packed wire form](Token::pack) plus the
+/// pre-computed encoded size. Construct via [`compress`]; recover the
+/// original bytes with [`CompressedLine::decompress`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressedLine {
-    tokens: Vec<Token>,
+    packed: Vec<u64>,
     bits: u32,
+}
+
+/// One entry of the decode dispatch table: expands the payload of a packed
+/// token into `out` starting at word index `idx`, returning the next word
+/// index. Indexed by the token's 3-bit prefix code, so decode never
+/// matches on a pattern enum.
+type DecodeHandler = fn(u64, &mut [u8; LINE_BYTES], usize) -> usize;
+
+/// Dispatch table for decoding into a **pre-zeroed** buffer: the zero-run
+/// handler is a pure index advance, so a zero-heavy line costs one table
+/// call per run and no stores at all.
+static DECODE_PREZEROED: [DecodeHandler; 8] = [
+    h_zero_skip,
+    h_signed4,
+    h_signed8,
+    h_signed16,
+    h_zero_padded16,
+    h_two_signed_bytes,
+    h_repeated_bytes,
+    h_uncompressed,
+];
+
+/// Dispatch table for decoding into a caller-owned buffer of unknown
+/// content: identical to [`DECODE_PREZEROED`] except the zero-run handler
+/// actually stores the zeros.
+static DECODE_FILLING: [DecodeHandler; 8] = [
+    h_zero_fill,
+    h_signed4,
+    h_signed8,
+    h_signed16,
+    h_zero_padded16,
+    h_two_signed_bytes,
+    h_repeated_bytes,
+    h_uncompressed,
+];
+
+/// Stores one reconstructed word. The byte range is a compile-time-known
+/// 4-byte window, so this compiles to a single 32-bit store.
+#[inline(always)]
+fn put_word(out: &mut [u8; LINE_BYTES], idx: usize, word: u32) {
+    out[idx * 4..idx * 4 + 4].copy_from_slice(&word.to_le_bytes());
+}
+
+fn h_zero_skip(payload: u64, _out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    idx + 1 + (payload & 0x7) as usize
+}
+
+fn h_zero_fill(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    let count = 1 + (payload & 0x7) as usize;
+    // The range is 4-byte aligned within the line; `fill` on a byte slice
+    // lowers to wide stores, so an 8-word run is a pair of u64 stores.
+    out[idx * 4..(idx + count) * 4].fill(0);
+    idx + count
+}
+
+fn h_signed4(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    // Branchless sign extension: shift the 4-bit payload to the top and
+    // arithmetic-shift it back down.
+    put_word(out, idx, (((payload as u32) << 28) as i32 >> 28) as u32);
+    idx + 1
+}
+
+fn h_signed8(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    put_word(out, idx, payload as u8 as i8 as i32 as u32);
+    idx + 1
+}
+
+fn h_signed16(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    put_word(out, idx, payload as u16 as i16 as i32 as u32);
+    idx + 1
+}
+
+fn h_zero_padded16(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    put_word(out, idx, (payload as u32) << 16);
+    idx + 1
+}
+
+fn h_two_signed_bytes(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    // Sign-extend both bytes branchlessly and splice the halfwords.
+    let high = ((payload >> 8) as u8 as i8 as i32 as u32) << 16;
+    let low = (payload as u8 as i8 as i32 as u32) & 0xFFFF;
+    put_word(out, idx, high | low);
+    idx + 1
+}
+
+fn h_repeated_bytes(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    put_word(out, idx, (payload as u32 & 0xFF).wrapping_mul(0x0101_0101));
+    idx + 1
+}
+
+fn h_uncompressed(payload: u64, out: &mut [u8; LINE_BYTES], idx: usize) -> usize {
+    put_word(out, idx, payload as u32);
+    idx + 1
 }
 
 impl CompressedLine {
@@ -33,16 +128,60 @@ impl CompressedLine {
         self.segments() < MAX_SEGMENTS
     }
 
-    /// The encoded token stream, in line order.
-    pub fn tokens(&self) -> &[Token] {
-        &self.tokens
+    /// The encoded token stream, in line order, unpacked from the wire
+    /// form. Diagnostic path — the decoders below never materialize
+    /// [`Token`]s.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.packed.iter().map(|&p| Token::unpack(p)).collect()
     }
 
     /// Reconstructs the original 64 bytes exactly.
+    ///
+    /// Fast path: the output buffer starts zeroed, and each packed token's
+    /// 3-bit prefix indexes [`DECODE_PREZEROED`] directly — no pattern
+    /// `match`, no intermediate word array, and zero runs (the dominant
+    /// token class on sparse lines) reduce to an index advance.
+    /// [`CompressedLine::decompress_reference`] is the scalar oracle this
+    /// path is differential-tested against.
     pub fn decompress(&self) -> [u8; LINE_BYTES] {
+        let mut out = [0u8; LINE_BYTES];
+        let mut idx = 0usize;
+        for &p in &self.packed {
+            idx = DECODE_PREZEROED[(p & PACKED_PREFIX_MASK) as usize](
+                p >> PACKED_PAYLOAD_SHIFT,
+                &mut out,
+                idx,
+            );
+        }
+        debug_assert_eq!(idx, WORDS_PER_LINE, "token stream must cover the line");
+        out
+    }
+
+    /// Reconstructs the line into a caller-owned buffer whose prior
+    /// content is arbitrary (zero runs are stored, via [`DECODE_FILLING`]).
+    pub fn decompress_into(&self, out: &mut [u8; LINE_BYTES]) {
+        let mut idx = 0usize;
+        for &p in &self.packed {
+            idx = DECODE_FILLING[(p & PACKED_PREFIX_MASK) as usize](
+                p >> PACKED_PAYLOAD_SHIFT,
+                out,
+                idx,
+            );
+        }
+        debug_assert_eq!(idx, WORDS_PER_LINE, "token stream must cover the line");
+    }
+
+    /// Reference decoder: the seed engine's scalar loop, kept in-tree as
+    /// the differential oracle for [`CompressedLine::decompress`] and as
+    /// the baseline the codec-throughput gate measures decode speedups
+    /// against. Unpacks each token, expands through the per-pattern
+    /// `match` in [`Token::expand_into`] — zero stores included — then
+    /// assembles bytes in a second pass.
+    pub fn decompress_reference(&self) -> [u8; LINE_BYTES] {
         let mut words = [0u32; WORDS_PER_LINE];
         let mut idx = 0;
-        for tok in &self.tokens {
+        for &p in &self.packed {
+            let tok = Token::unpack(p);
             tok.expand_into(&mut words[idx..]);
             idx += tok.word_count();
         }
@@ -74,7 +213,7 @@ pub fn compress(line: &[u8; LINE_BYTES]) -> CompressedLine {
     }
 
     let n_tokens = token_count(&words);
-    let mut tokens = Vec::with_capacity(n_tokens);
+    let mut packed = Vec::with_capacity(n_tokens);
     let mut bits = 0u32;
     let mut i = 0;
     while i < WORDS_PER_LINE {
@@ -88,20 +227,19 @@ pub fn compress(line: &[u8; LINE_BYTES]) -> CompressedLine {
             {
                 count += 1;
             }
-            let tok = Token::ZeroRun { count };
-            bits += tok.bits();
-            tokens.push(tok);
+            packed.push(Token::ZeroRun { count }.pack());
+            bits += Token::ZeroRun { count }.bits();
             i += usize::from(count);
         } else {
-            let (tok, tok_bits) = encode_word_sized(words[i]);
+            let (tok, tok_bits) = encode_word_packed(words[i]);
             bits += tok_bits;
-            tokens.push(tok);
+            packed.push(tok);
             i += 1;
         }
     }
-    debug_assert_eq!(tokens.len(), n_tokens, "token pre-size must be exact");
+    debug_assert_eq!(packed.len(), n_tokens, "token pre-size must be exact");
 
-    CompressedLine { tokens, bits }
+    CompressedLine { packed, bits }
 }
 
 /// Exact number of tokens [`compress`] will emit for these words: one per
@@ -264,6 +402,48 @@ mod tests {
         let c = compress(&line);
         assert!(c.is_compressible());
         assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn fast_decode_matches_reference_and_fills_dirty_buffers() {
+        let lines: [[u32; WORDS_PER_LINE]; 4] = [
+            [0; WORDS_PER_LINE],
+            {
+                let mut w = [0u32; WORDS_PER_LINE];
+                w[5] = 0xDEAD_BEEF;
+                w[11] = 7;
+                w
+            },
+            {
+                let mut w = [0xABAB_ABABu32; WORDS_PER_LINE];
+                w[0] = 0x1234_0000;
+                w[15] = (-30_000i32) as u32;
+                w
+            },
+            {
+                let mut w = [0u32; WORDS_PER_LINE];
+                for (i, x) in w.iter_mut().enumerate() {
+                    *x = match i % 6 {
+                        0 => 0,
+                        1 => (-3i32) as u32,
+                        2 => 100,
+                        3 => 0x0042_FF85,
+                        4 => 0x00FF_00FF,
+                        _ => 0xDEAD_BEEF,
+                    };
+                }
+                w
+            },
+        ];
+        for words in &lines {
+            let line = line_of_words(words);
+            let c = compress(&line);
+            assert_eq!(c.decompress(), line, "fast decode must be exact");
+            assert_eq!(c.decompress_reference(), line, "reference decode must be exact");
+            let mut dirty = [0xA5u8; LINE_BYTES];
+            c.decompress_into(&mut dirty);
+            assert_eq!(dirty, line, "filling decode must overwrite stale bytes");
+        }
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub enum Pattern {
 }
 
 impl Pattern {
+    /// The 3-bit prefix code identifying this pattern in the packed token
+    /// form (declaration order, so `ZeroRun` is 0 and `Uncompressed` is
+    /// 7). This is the index into the decode dispatch table.
+    pub fn prefix_code(self) -> u8 {
+        self as u8
+    }
+
     /// Payload bits used by this pattern (excluding the 3-bit prefix).
     pub fn payload_bits(self) -> u32 {
         match self {
@@ -82,7 +89,57 @@ pub enum Token {
     Uncompressed(u32),
 }
 
+/// Bit position of the payload inside a [packed token](Token::pack).
+pub const PACKED_PAYLOAD_SHIFT: u32 = PREFIX_BITS;
+
+/// Mask extracting the 3-bit prefix code from a packed token.
+pub const PACKED_PREFIX_MASK: u64 = (1 << PREFIX_BITS) - 1;
+
 impl Token {
+    /// Packs this token into its wire form: the 3-bit
+    /// [prefix code](Pattern::prefix_code) in bits `0..3`, the raw
+    /// (un-sign-extended) payload in bits `3..35`, upper bits zero.
+    ///
+    /// The prefix doubles as the index into the decode dispatch table, so
+    /// `packed & PACKED_PREFIX_MASK` selects the handler and
+    /// `packed >> PACKED_PAYLOAD_SHIFT` is everything the handler needs.
+    /// A `ZeroRun` stores `count - 1` (3 bits encode runs of 1..=8);
+    /// `TwoSignedBytes` stores the high byte above the low byte.
+    pub fn pack(&self) -> u64 {
+        let (code, payload) = match *self {
+            Token::ZeroRun { count } => {
+                debug_assert!((1..=MAX_ZERO_RUN).contains(&count));
+                (Pattern::ZeroRun, u64::from(count - 1))
+            }
+            Token::Signed4(v) => (Pattern::Signed4, u64::from(v as u8 & 0xF)),
+            Token::Signed8(v) => (Pattern::Signed8, u64::from(v as u8)),
+            Token::Signed16(v) => (Pattern::Signed16, u64::from(v as u16)),
+            Token::ZeroPadded16(h) => (Pattern::ZeroPadded16, u64::from(h)),
+            Token::TwoSignedBytes(hi, lo) => (
+                Pattern::TwoSignedBytes,
+                u64::from(hi as u8) << 8 | u64::from(lo as u8),
+            ),
+            Token::RepeatedBytes(b) => (Pattern::RepeatedBytes, u64::from(b)),
+            Token::Uncompressed(w) => (Pattern::Uncompressed, u64::from(w)),
+        };
+        u64::from(code.prefix_code()) | payload << PACKED_PAYLOAD_SHIFT
+    }
+
+    /// Inverse of [`Token::pack`].
+    pub fn unpack(packed: u64) -> Token {
+        let payload = packed >> PACKED_PAYLOAD_SHIFT;
+        match (packed & PACKED_PREFIX_MASK) as u8 {
+            0 => Token::ZeroRun { count: (payload & 0x7) as u8 + 1 },
+            1 => Token::Signed4((((payload as u8 & 0xF) << 4) as i8) >> 4),
+            2 => Token::Signed8(payload as u8 as i8),
+            3 => Token::Signed16(payload as u16 as i16),
+            4 => Token::ZeroPadded16(payload as u16),
+            5 => Token::TwoSignedBytes((payload >> 8) as u8 as i8, payload as u8 as i8),
+            6 => Token::RepeatedBytes(payload as u8),
+            _ => Token::Uncompressed(payload as u32),
+        }
+    }
+
     /// The pattern this token instantiates.
     pub fn pattern(&self) -> Pattern {
         match self {
@@ -189,6 +246,44 @@ pub fn encode_word_sized(word: u32) -> (Token, u32) {
     (Token::Uncompressed(word), PREFIX_BITS + 32)
 }
 
+/// Classifies one word straight into its [packed form](Token::pack),
+/// returning the packed token and its encoded size in bits.
+///
+/// This is the line encoder's fused front end: classification, payload
+/// extraction and wire packing come out of the same branch chain, so
+/// `compress` never materializes an intermediate [`Token`].
+pub fn encode_word_packed(word: u32) -> (u64, u32) {
+    const SHIFT: u32 = PACKED_PAYLOAD_SHIFT;
+    if word == 0 {
+        // ZeroRun of one word: count - 1 = 0, so the payload is empty.
+        return (0, PREFIX_BITS + 3);
+    }
+    let sword = word as i32;
+    if (-8..=7).contains(&sword) {
+        return (1 | u64::from(word & 0xF) << SHIFT, PREFIX_BITS + 4);
+    }
+    if i32::from(sword as i8) == sword {
+        return (2 | u64::from(word & 0xFF) << SHIFT, PREFIX_BITS + 8);
+    }
+    if i32::from(sword as i16) == sword {
+        return (3 | u64::from(word & 0xFFFF) << SHIFT, PREFIX_BITS + 16);
+    }
+    if word & 0xFFFF == 0 {
+        return (4 | u64::from(word >> 16) << SHIFT, PREFIX_BITS + 16);
+    }
+    let high = (word >> 16) as u16;
+    let low = (word & 0xFFFF) as u16;
+    if i16::from(high as i16 as i8) == high as i16 && i16::from(low as i16 as i8) == low as i16 {
+        // Payload layout matches pack(): high byte above low byte.
+        return (5 | u64::from(word >> 16 & 0xFF) << (SHIFT + 8) | u64::from(word & 0xFF) << SHIFT, PREFIX_BITS + 16);
+    }
+    let bytes = word.to_ne_bytes();
+    if bytes[0] == bytes[1] && bytes[1] == bytes[2] && bytes[2] == bytes[3] {
+        return (6 | u64::from(bytes[0]) << SHIFT, PREFIX_BITS + 8);
+    }
+    (7 | u64::from(word) << SHIFT, PREFIX_BITS + 32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +385,64 @@ mod tests {
             let (tok, bits) = encode_word_sized(w);
             assert_eq!(tok, encode_word(w), "token mismatch for {w:#x}");
             assert_eq!(bits, tok.bits(), "size mismatch for {w:#x}");
+        }
+    }
+
+    const SWEEP: [u32; 26] = [
+        0,
+        1,
+        7,
+        8,
+        (-8i32) as u32,
+        (-9i32) as u32,
+        127,
+        128,
+        (-128i32) as u32,
+        (-129i32) as u32,
+        32_767,
+        32_768,
+        (-32_768i32) as u32,
+        (-32_769i32) as u32,
+        0x0001_0000,
+        0x1234_0000,
+        0xFFFF_0000,
+        0x0042_FF85,
+        0x007F_007F,
+        0x00FF_00FF,
+        0xABAB_ABAB,
+        0x8080_8080,
+        0xDEAD_BEEF,
+        u32::MAX,
+        1 << 31,
+        0x7FFF_FFFF,
+    ];
+
+    #[test]
+    fn pack_unpack_roundtrips_every_pattern() {
+        for count in 1..=MAX_ZERO_RUN {
+            let tok = Token::ZeroRun { count };
+            assert_eq!(Token::unpack(tok.pack()), tok);
+        }
+        for w in SWEEP {
+            let tok = encode_word(w);
+            let packed = tok.pack();
+            assert_eq!(Token::unpack(packed), tok, "pack/unpack mismatch for {w:#x}");
+            assert_eq!(
+                (packed & PACKED_PREFIX_MASK) as u8,
+                tok.pattern().prefix_code(),
+                "prefix code must select the right dispatch slot for {w:#x}"
+            );
+            assert_eq!(packed >> 35, 0, "payload must fit in bits 3..35 for {w:#x}");
+        }
+    }
+
+    #[test]
+    fn fused_packed_encoder_agrees_with_sized_encoder() {
+        for w in SWEEP {
+            let (tok, bits) = encode_word_sized(w);
+            let (packed, packed_bits) = encode_word_packed(w);
+            assert_eq!(packed, tok.pack(), "packed form mismatch for {w:#x}");
+            assert_eq!(packed_bits, bits, "size mismatch for {w:#x}");
         }
     }
 

@@ -31,10 +31,36 @@ impl CompressedRepr for ZcaLine {
         }
     }
 
+    /// Fast path: the `Zero` arm is a single `[0u8; LINE_BYTES]` return —
+    /// the compiler lowers it to wide zero stores with no per-byte work —
+    /// and the raw arm is one 64-byte copy out of the box.
+    #[inline]
     fn decompress(&self) -> [u8; LINE_BYTES] {
         match self {
             ZcaLine::Zero => [0u8; LINE_BYTES],
             ZcaLine::Uncompressed(raw) => **raw,
+        }
+    }
+
+    fn decompress_reference(&self) -> [u8; LINE_BYTES] {
+        // The scalar oracle: materialize the zero line byte-by-byte so the
+        // fast return above has a genuinely independent implementation to
+        // be differential-tested against.
+        match self {
+            ZcaLine::Zero => {
+                let mut out = [0xFFu8; LINE_BYTES];
+                for b in out.iter_mut() {
+                    *b = 0;
+                }
+                out
+            }
+            ZcaLine::Uncompressed(raw) => {
+                let mut out = [0u8; LINE_BYTES];
+                for (dst, src) in out.iter_mut().zip(raw.iter()) {
+                    *dst = *src;
+                }
+                out
+            }
         }
     }
 }

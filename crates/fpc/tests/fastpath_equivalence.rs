@@ -24,8 +24,14 @@ fn line_of_words(words: &[u32]) -> [u8; LINE_BYTES] {
 fn assert_equivalent(line: &[u8; LINE_BYTES]) -> Result<(), String> {
     let reference = compress(line);
     prop_assert_eq!(compressed_segments(line), reference.segments());
-    // The decoder is the ground truth that the reference itself is honest.
+    // The decoder is the ground truth that the reference itself is honest —
+    // and the dispatch-table fast path, the filling variant and the scalar
+    // reference oracle must all reproduce the line exactly.
     prop_assert_eq!(reference.decompress(), *line);
+    prop_assert_eq!(reference.decompress_reference(), *line);
+    let mut dirty = [0x5Au8; LINE_BYTES];
+    reference.decompress_into(&mut dirty);
+    prop_assert_eq!(dirty, *line);
     Ok(())
 }
 
@@ -138,6 +144,31 @@ fn exhaustive_zero_masks_agree() {
             compress(&line).segments(),
             "mask {mask:#06x}"
         );
+    }
+}
+
+/// Decode mirror of [`exhaustive_zero_masks_agree`]: for every 16-bit
+/// zero-occupancy mask, the dispatch-table fast decoder (whose zero-run
+/// handler is a pure index advance over the pre-zeroed buffer) and the
+/// filling variant must agree byte-for-byte with the scalar reference
+/// decoder — every possible run layout the zero-skip logic can see.
+#[test]
+fn exhaustive_zero_masks_decode_identically() {
+    for mask in 0u32..(1 << WORDS_PER_LINE) {
+        let mut words = [0x0042_FF85u32; WORDS_PER_LINE];
+        for (i, w) in words.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                *w = 0;
+            }
+        }
+        let line = line_of_words(&words);
+        let c = compress(&line);
+        let reference = c.decompress_reference();
+        assert_eq!(reference, line, "mask {mask:#06x}: reference decode");
+        assert_eq!(c.decompress(), reference, "mask {mask:#06x}: fast decode");
+        let mut dirty = [0xC3u8; LINE_BYTES];
+        c.decompress_into(&mut dirty);
+        assert_eq!(dirty, reference, "mask {mask:#06x}: filling decode");
     }
 }
 

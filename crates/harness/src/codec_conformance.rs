@@ -20,6 +20,13 @@
 //!    can legitimately re-shape an encoding.
 //! 4. **Never expands** — no line costs more than `max_segments`, and the
 //!    all-zero line is a global minimum of the sizing function.
+//! 5. **Decode agreement** — the production decoder (dispatch-table /
+//!    SWAR fast path) and the scalar reference decoder reconstruct the
+//!    same bytes from the same compressed line, and both reproduce the
+//!    original. A fast path that drifts from the reference is a silent
+//!    data-corruption bug even when it round-trips *most* inputs, so the
+//!    law is checked property-style here and exhaustively over zero
+//!    masks by [`check_decode_zero_mask_sweep`].
 //!
 //! The kit is generic over the line size and takes plain `fn` pointers so
 //! this zero-dependency crate can check codecs defined in `cmpsim-fpc`
@@ -49,6 +56,9 @@ pub struct CodecSpec<const N: usize> {
     pub round_trip: fn(&[u8; N]) -> (u8, [u8; N]),
     /// Fast sizing path (the one the engine memoizes).
     pub segments: fn(&[u8; N]) -> u8,
+    /// Both decoders over the compressed form of the line: the
+    /// production fast path first, the scalar reference oracle second.
+    pub decode_pair: fn(&[u8; N]) -> ([u8; N], [u8; N]),
 }
 
 /// Zeroes the 8-byte chunks of `line` selected by `mask` (bit `i` covers
@@ -184,6 +194,48 @@ pub fn check_conformance<const N: usize>(spec: &CodecSpec<N>) {
         );
         Ok(())
     });
+
+    prop::check(&format!("{}_fast_decode_matches_reference", spec.name), &lines, move |line| {
+        let (fast, reference) = (spec.decode_pair)(line);
+        prop_assert!(
+            fast == reference,
+            "fast decoder disagrees with the scalar reference:\n fast {fast:?}\n ref  {reference:?}"
+        );
+        prop_assert!(fast == *line, "both decoders agree but lost data: {fast:?}");
+        Ok(())
+    });
+}
+
+/// Exhaustive decode-agreement sweep over every 4-byte-word zero mask.
+///
+/// For each of the `2^(N/4)` masks, builds a line whose words are either
+/// zero (mask bit set) or a fixed `filler` word, and asserts the fast and
+/// reference decoders agree bit-for-bit with each other and the input.
+/// Zero placement is exactly what run-length and zero-aware encodings key
+/// on, so this covers every run-length/boundary interaction a generator
+/// would only sample — for 64-byte lines, all 65536 zero layouts.
+///
+/// # Panics
+///
+/// Panics on the first disagreeing mask, or if `N` is not a multiple of 4
+/// or exceeds 64 bytes (larger lines would make the sweep infeasible).
+pub fn check_decode_zero_mask_sweep<const N: usize>(spec: &CodecSpec<N>, filler: u32) {
+    assert!(N % 4 == 0 && N <= 64, "sweep is exhaustive over N/4 word-mask bits");
+    let words = N / 4;
+    for mask in 0u32..1 << words {
+        let mut line = [0u8; N];
+        for w in 0..words {
+            if mask & (1 << w) == 0 {
+                line[w * 4..w * 4 + 4].copy_from_slice(&filler.to_le_bytes());
+            }
+        }
+        let (fast, reference) = (spec.decode_pair)(&line);
+        assert!(
+            fast == reference && fast == line,
+            "{}: decoders disagree on zero mask {mask:#06x} (filler {filler:#010x})",
+            spec.name
+        );
+    }
 }
 
 #[cfg(test)]
@@ -203,14 +255,21 @@ mod tests {
         (toy_segments(line), *line)
     }
 
+    fn toy_decode_pair(line: &[u8; 16]) -> ([u8; 16], [u8; 16]) {
+        (*line, *line)
+    }
+
     #[test]
     fn lawful_codec_passes() {
-        check_conformance(&CodecSpec {
+        let spec = CodecSpec {
             name: "toy",
             max_segments: 2,
             round_trip: toy_round_trip,
             segments: toy_segments,
-        });
+            decode_pair: toy_decode_pair,
+        };
+        check_conformance(&spec);
+        check_decode_zero_mask_sweep(&spec, 0xDEAD_BEEF);
     }
 
     #[test]
@@ -230,6 +289,7 @@ mod tests {
                 max_segments: 3,
                 round_trip: bad_round_trip,
                 segments: bad_segments,
+                decode_pair: toy_decode_pair,
             });
         });
         assert!(result.is_err(), "non-monotone sizing must fail conformance");
@@ -249,9 +309,32 @@ mod tests {
                 max_segments: 2,
                 round_trip: lossy_round_trip,
                 segments: one_segment,
+                decode_pair: toy_decode_pair,
             });
         });
         assert!(result.is_err(), "data loss must fail conformance");
+    }
+
+    #[test]
+    fn drifting_fast_decoder_is_rejected() {
+        // Fast path flips a byte the reference decodes correctly: the
+        // decode-agreement law must catch the divergence.
+        fn drifted(line: &[u8; 16]) -> ([u8; 16], [u8; 16]) {
+            let mut fast = *line;
+            fast[5] ^= 0x40;
+            (fast, *line)
+        }
+        let spec = CodecSpec {
+            name: "drift",
+            max_segments: 2,
+            round_trip: toy_round_trip,
+            segments: toy_segments,
+            decode_pair: drifted,
+        };
+        let by_property = panic::catch_unwind(|| check_conformance(&spec));
+        assert!(by_property.is_err(), "decode drift must fail conformance");
+        let by_sweep = panic::catch_unwind(|| check_decode_zero_mask_sweep(&spec, 1));
+        assert!(by_sweep.is_err(), "decode drift must fail the zero-mask sweep");
     }
 
     #[test]

@@ -216,6 +216,20 @@ impl Channel {
         tr
     }
 
+    /// Receiver-side integrity gate for a delivered data payload: the
+    /// line image reconstructed by the codec's fast decoder is accepted
+    /// only if its FNV checksum matches the checksum computed over the
+    /// line before serialization. [`send_corrupted`](Channel::send_corrupted)
+    /// transfers are exactly those that fail this check — a single-bit
+    /// flit flip always perturbs the FNV-1a checksum — which is what
+    /// triggers the engine's NACK + retransmit path.
+    pub fn payload_intact(
+        delivered: &[u8; cmpsim_fpc::LINE_BYTES],
+        expected_checksum: u32,
+    ) -> bool {
+        cmpsim_fpc::integrity::line_checksum(delivered) == expected_checksum
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> &ChannelStats {
         &self.stats
@@ -348,6 +362,24 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.check().unwrap_err().contains("prefetch bytes"));
+    }
+
+    #[test]
+    fn payload_intact_accepts_clean_and_rejects_flipped_deliveries() {
+        let mut line = [0u8; cmpsim_fpc::LINE_BYTES];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31);
+        }
+        let checksum = cmpsim_fpc::integrity::line_checksum(&line);
+        assert!(Channel::payload_intact(&line, checksum));
+        for bit in [0u16, 7, 63, 255, 511] {
+            let mut delivered = line;
+            cmpsim_fpc::integrity::flip_bit(&mut delivered, bit);
+            assert!(
+                !Channel::payload_intact(&delivered, checksum),
+                "bit {bit}: single-bit corruption must be rejected"
+            );
+        }
     }
 
     #[test]

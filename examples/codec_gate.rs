@@ -1,0 +1,116 @@
+//! CI gate for the codec-throughput artifact: compares the fresh
+//! `target/bench/codec_throughput.json` against the committed
+//! `BENCH_codec_throughput.json` baseline, prints the PR-over-PR delta
+//! table, and fails on
+//!
+//! - any throughput metric (`*_mwps` / `*_gbps`) regressing by more than
+//!   2x versus the baseline (noise-tolerant: machine-to-machine and
+//!   run-to-run jitter passes, a lost fast path does not), or
+//! - the FPC fast decoder losing its ≥2x speedup over the in-tree scalar
+//!   reference on the zero-heavy class (`fpc/zero/decode_speedup`), the
+//!   acceptance bar of the decode fast-path work.
+//!
+//! ```sh
+//! cargo run --release --example codec_gate [baseline.json] [fresh.json]
+//! ```
+
+use cmpsim::report::Table;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Regression tolerance: a metric may halve before the gate trips.
+const MAX_REGRESSION: f64 = 2.0;
+
+/// Required fast-vs-reference decode speedup on the zero-heavy class.
+const REQUIRED_ZERO_SPEEDUP: f64 = 2.0;
+const SPEEDUP_KEY: &str = "fpc/zero/decode_speedup";
+
+/// Parses the flat `"metrics": {"name": value, ...}` object the bench
+/// runner writes. Hand-rolled on purpose: the workspace is hermetic (no
+/// serde), the writer is ours, and its keys never contain escapes, commas
+/// or nested braces.
+fn metrics_of(path: &Path) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let at = text.find("\"metrics\"").unwrap_or_else(|| {
+        panic!("{}: no \"metrics\" object (not a bench artifact?)", path.display())
+    });
+    let open = at + text[at..].find('{').expect("metrics object opens");
+    let close = open + text[open..].find('}').expect("metrics object closes");
+    let mut out = BTreeMap::new();
+    for pair in text[open + 1..close].split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair.split_once(':').expect("metric is a key: value pair");
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value.trim().parse().expect("metric value parses as f64");
+        out.insert(key, value);
+    }
+    assert!(!out.is_empty(), "{}: empty metrics object", path.display());
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args.get(1).map_or("BENCH_codec_throughput.json", String::as_str);
+    let fresh_path = args.get(2).map_or("target/bench/codec_throughput.json", String::as_str);
+    let baseline = metrics_of(Path::new(baseline_path));
+    let fresh = metrics_of(Path::new(fresh_path));
+
+    let mut t = Table::new(&["metric", "baseline", "fresh", "delta", "gate"]);
+    let mut failures = Vec::new();
+    for (key, &base) in &baseline {
+        let Some(&now) = fresh.get(key) else {
+            failures.push(format!("{key}: present in baseline but missing from fresh run"));
+            continue;
+        };
+        // Only absolute throughput rates are gated; *_speedup ratios and
+        // any future bookkeeping metrics are reported ungated (the
+        // acceptance speedup below is checked on the fresh run alone,
+        // where it is meaningful regardless of what machine recorded the
+        // baseline).
+        let gated = key.ends_with("_mwps") || key.ends_with("_gbps");
+        let regressed = gated && base.is_finite() && base > 0.0 && now * MAX_REGRESSION < base;
+        let delta = if base > 0.0 { format!("{:+.1}%", (now / base - 1.0) * 100.0) } else { "-".into() };
+        let verdict = if !gated {
+            "info"
+        } else if regressed {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        t.row(&[key.clone(), format!("{base:.1}"), format!("{now:.1}"), delta, verdict.into()]);
+        if regressed {
+            failures.push(format!(
+                "{key}: {now:.1} is more than {MAX_REGRESSION}x below baseline {base:.1}"
+            ));
+        }
+    }
+    t.print(&format!(
+        "codec throughput vs committed baseline ({baseline_path}); \
+         gate trips below 1/{MAX_REGRESSION:.0}x"
+    ));
+
+    match fresh.get(SPEEDUP_KEY) {
+        Some(&s) if s >= REQUIRED_ZERO_SPEEDUP => {
+            println!("{SPEEDUP_KEY}: {s:.2}x >= required {REQUIRED_ZERO_SPEEDUP:.1}x");
+        }
+        Some(&s) => failures.push(format!(
+            "{SPEEDUP_KEY}: {s:.2}x below the required {REQUIRED_ZERO_SPEEDUP:.1}x — the \
+             dispatch-table decoder no longer beats the scalar reference on zero-heavy lines"
+        )),
+        None => failures.push(format!("{SPEEDUP_KEY}: missing from fresh artifact")),
+    }
+
+    if failures.is_empty() {
+        println!("codec gate: OK ({} metrics compared)", baseline.len());
+    } else {
+        eprintln!("codec gate: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,18 +4,28 @@
 //! For every workload and codec this prints the *expected* L2 compression
 //! ratio from the value model (the analog of Table 3, which the paper
 //! reports for FPC only), the *measured* effective-capacity ratio from a
-//! smoke simulation with cache+link compression enabled, and the speedup
-//! of that configuration over the uncompressed baseline.
+//! smoke simulation with cache+link compression enabled, the speedup of
+//! that configuration over the uncompressed baseline, and the host-side
+//! decode throughput (millions of 32-bit words/sec and GB/s of line
+//! bytes) of each codec's fast decoder over that workload's value
+//! mixture.
 //!
 //! ```sh
 //! cargo run --release --example codec_table
 //! ```
 
-use cmpsim::report::Table;
+use cmpsim::report::{measure_codec_throughput, Table};
 use cmpsim::{
     metrics, run_variant, CodecKind, SimLength, SystemConfig, Variant,
 };
 use cmpsim::trace::all_workloads;
+
+/// Lines sampled from each workload's value model for the decode-rate
+/// columns, and timed passes over that batch. The 977 stride matches
+/// `expected_ratio_with`, so the rate columns see the same line mixture
+/// as the expected-ratio columns.
+const THROUGHPUT_LINES: u64 = 128;
+const THROUGHPUT_ITERS: u32 = 50;
 
 fn main() {
     let base = SystemConfig::paper_default(4).with_seed(11);
@@ -32,16 +42,26 @@ fn main() {
         "fpc speedup",
         "bdi speedup",
         "zca speedup",
+        "fpc dec MW/s",
+        "bdi dec MW/s",
+        "zca dec MW/s",
+        "fpc dec GB/s",
+        "bdi dec GB/s",
+        "zca dec GB/s",
     ]);
 
     for spec in all_workloads() {
         let profile = spec.value_profile(base.seed);
         let baseline = run_variant(&spec, &base, Variant::Base, len)
             .expect("baseline simulates");
+        let lines: Vec<_> =
+            (0..THROUGHPUT_LINES).map(|i| profile.line_bytes(i * 977)).collect();
 
         let mut expected = Vec::new();
         let mut measured = Vec::new();
         let mut speedups = Vec::new();
+        let mut dec_mwps = Vec::new();
+        let mut dec_gbps = Vec::new();
         for codec in CodecKind::all() {
             expected.push(format!("{:.2}", profile.expected_ratio_with(codec, 4000)));
             let cfg = base.clone().with_codec(codec);
@@ -49,18 +69,24 @@ fn main() {
                 .expect("compressed cell simulates");
             measured.push(format!("{:.2}", r.stats.compression_ratio()));
             speedups.push(format!("{:+.1}%", metrics::speedup_pct(&baseline, &r)));
+            let rate = measure_codec_throughput(codec, spec.name, &lines, THROUGHPUT_ITERS);
+            dec_mwps.push(format!("{:.0}", rate.decompress_mwps));
+            dec_gbps.push(format!("{:.1}", rate.decompress_gbps));
         }
 
         let mut row = vec![spec.name.to_string()];
         row.extend(expected);
         row.extend(measured);
         row.extend(speedups);
+        row.extend(dec_mwps);
+        row.extend(dec_gbps);
         t.row(&row);
     }
 
     t.print(
         "Codec x workload: expected L2 ratio (value model), measured \
-         effective-capacity ratio, and speedup of cache+link compression \
-         over Base (4 cores, seed 11, smoke length)",
+         effective-capacity ratio, speedup of cache+link compression \
+         over Base (4 cores, seed 11, smoke length), and fast-decoder \
+         throughput over each workload's value mixture",
     );
 }

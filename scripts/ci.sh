@@ -85,6 +85,22 @@ test -s target/bench/throughput.json || {
     exit 1
 }
 
+echo "== codec-throughput gate (vs BENCH_codec_throughput.json baseline) =="
+# The bench stage above also re-measured per-codec compress/decompress
+# rates into target/bench/codec_throughput.json. Compare against the
+# committed baseline: print the PR-over-PR delta table, fail on any
+# >2x throughput regression, and require the FPC dispatch-table decoder
+# to keep its >=2x speedup over the in-tree scalar reference on
+# zero-heavy lines. The fresh artifact then becomes the new committed
+# baseline, so each PR's CI run records the rates the next PR is
+# compared against.
+test -s target/bench/codec_throughput.json || {
+    echo "codec throughput bench artifact missing" >&2
+    exit 1
+}
+cargo run -q --release --offline --example codec_gate
+cp target/bench/codec_throughput.json BENCH_codec_throughput.json
+
 echo "== hermeticity gate: no registry dependencies =="
 # A registry dependency in a manifest is one whose spec carries a
 # `version` requirement (string or inline-table form) instead of being a

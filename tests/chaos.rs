@@ -110,6 +110,38 @@ fn env_armed_chaos_grid_is_thread_invariant() {
     std::env::remove_var("CMPSIM_CHAOS");
 }
 
+/// The integrity contract is codec-independent: under BDI and ZCA the
+/// fault machinery routes through the same monomorphized
+/// compress→fast-decode image as FPC, so every injected single-bit codec
+/// fault is caught at decompression (FNV checksum over the decoded
+/// bytes) and recovered by invalidate + refetch, and corrupted link
+/// deliveries never reach the L2.
+#[test]
+fn bdi_and_zca_detect_and_recover_every_codec_fault() {
+    for codec in [cmpsim::CodecKind::Bdi, cmpsim::CodecKind::Zca] {
+        let spec = workload("zeus").unwrap();
+        let cfg = Variant::PrefetchCompression.apply(base()).with_codec(codec);
+        let mut sys = System::new(cfg, &spec);
+        sys.set_chaos(Some(FaultPlan::new(SEED, 0.03)));
+        let r = sys.run(5_000, 20_000).expect("cell survives this fault rate");
+        let f = &r.stats.faults;
+        assert!(f.codec_faults_injected > 0, "{codec}: no codec faults injected: {f:?}");
+        assert_eq!(
+            f.codec_faults_detected, f.codec_faults_injected,
+            "{codec}: a flipped bit escaped the decompression-time checksum"
+        );
+        assert_eq!(
+            f.fault_recoveries, f.codec_faults_detected,
+            "{codec}: a detected corruption was not recovered"
+        );
+        assert_eq!(
+            r.stats.link.dropped_messages + r.stats.link.corrupted_messages,
+            f.link_faults_injected,
+            "{codec}: link fault counters disagree with the channel"
+        );
+    }
+}
+
 /// At a hotter rate the same line eventually takes
 /// `QUARANTINE_STRIKES` corruptions and is pinned to the uncompressed
 /// encoding — the run survives and the counter records the demotion.

@@ -9,7 +9,9 @@
 
 use cmpsim::fpc::{Bdi, Codec, CodecKind, CompressedRepr, Fpc, Zca, LINE_BYTES};
 use cmpsim::{workload, System, SystemConfig, Variant};
-use cmpsim_harness::codec_conformance::{check_conformance, CodecSpec};
+use cmpsim_harness::codec_conformance::{
+    check_conformance, check_decode_zero_mask_sweep, CodecSpec,
+};
 
 /// Adapts any `Codec` implementation to the harness's fn-pointer spec.
 /// The closures are non-capturing, so they coerce to `fn` pointers even
@@ -23,12 +25,25 @@ fn spec_for<C: Codec>() -> CodecSpec<LINE_BYTES> {
             (c.segments(), c.decompress())
         },
         segments: C::segments,
+        decode_pair: |line| {
+            let c = C::compress(line);
+            (c.decompress(), c.decompress_reference())
+        },
     }
 }
 
 #[test]
 fn fpc_satisfies_codec_laws() {
     check_conformance(&spec_for::<Fpc>());
+}
+
+#[test]
+fn fpc_decoders_agree_on_every_zero_mask() {
+    // All 2^16 word-granularity zero layouts of a 64-byte line: every
+    // zero-run length and placement the dispatch-table decoder can see.
+    // The filler word sizes as Uncompressed, so each mask also exercises
+    // run termination against the widest token.
+    check_decode_zero_mask_sweep(&spec_for::<Fpc>(), 0x8042_FF85);
 }
 
 #[test]
