@@ -1,0 +1,86 @@
+//! Result-store speedup benchmark: the same smoke grid cold (empty
+//! store, every cell simulated) and warm (fully populated store, every
+//! cell read back), with the wall-clock ratio and hit rate recorded to
+//! `target/bench/store_warm.json`.
+//!
+//! This is the ROADMAP's "95% of cells were already computed" scenario
+//! measured end to end: the warm number is the cost of a sweep whose
+//! work already exists, and the speedup column is what the store buys a
+//! re-run. Knobs: `CMPSIM_WARMUP`/`CMPSIM_MEASURE` set the grid size,
+//! `CMPSIM_STORE` relocates the scratch store (a fresh subdirectory is
+//! used either way so "cold" is honest).
+
+use cmpsim_bench::SEED;
+use cmpsim_core::experiment::{run_grid_parallel_store, SimLength};
+use cmpsim_core::report::grid_digest;
+use cmpsim_core::store::ResultStore;
+use cmpsim_core::{SystemConfig, Variant};
+use cmpsim_harness::bench::Runner;
+use cmpsim_harness::pool::default_threads;
+use cmpsim_trace::all_workloads;
+use std::time::Instant;
+
+const VARIANTS: [Variant; 4] =
+    [Variant::Base, Variant::BothCompression, Variant::Prefetch, Variant::PrefetchCompression];
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+fn main() {
+    let len = SimLength {
+        warmup: env_u64("CMPSIM_WARMUP").unwrap_or(5_000),
+        measure: env_u64("CMPSIM_MEASURE").unwrap_or(20_000),
+    };
+    let specs = all_workloads();
+    let base = SystemConfig::paper_default(4).with_seed(SEED);
+    let threads = default_threads();
+
+    let dir = std::env::temp_dir().join(format!("cmpsim-store-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut r = Runner::new("store_warm", 0, 1);
+
+    let t0 = Instant::now();
+    let cold_store = ResultStore::open(&dir);
+    let cold =
+        run_grid_parallel_store(&specs, &base, &VARIANTS, len, threads, &cold_store)
+            .expect("cold grid simulates");
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let warm_store = ResultStore::open(&dir);
+    let warm =
+        run_grid_parallel_store(&specs, &base, &VARIANTS, len, threads, &warm_store)
+            .expect("warm grid resolves");
+    let warm_secs = t1.elapsed().as_secs_f64();
+
+    let warm_stats = warm_store.stats();
+    assert_eq!(
+        grid_digest(&cold),
+        grid_digest(&warm),
+        "store must be bit-inert (cold and warm digests diverged)"
+    );
+
+    r.metric("cells", cold.len() as f64);
+    r.metric("cold_secs", cold_secs);
+    r.metric("warm_secs", warm_secs);
+    r.metric("speedup", if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::MAX });
+    r.metric("warm_hit_rate_pct", warm_stats.hit_rate_pct());
+    r.metric("warm_computed_cells", warm_stats.published as f64);
+
+    println!(
+        "store warm-rerun: {} cells, cold {:.2}s -> warm {:.3}s ({:.0}x), \
+         warm hit rate {:.1}%, {} cells recomputed",
+        cold.len(),
+        cold_secs,
+        warm_secs,
+        if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::INFINITY },
+        warm_stats.hit_rate_pct(),
+        warm_stats.published,
+    );
+    let path = r.write_json().expect("write bench artifact");
+    println!("store-warm artifact: {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,273 @@
+//! `cmpsim serve` — a sweep daemon in front of the content-addressed
+//! result store.
+//!
+//! Reads flat-JSON sweep requests one per line (the journal/store
+//! framing: string and integer values only) and streams back one JSONL
+//! record per cell plus a summary with store hit/miss telemetry. Every
+//! sweep a daemon process handles shares one [`ResultStore`] handle, so
+//! two overlapping requests compute each shared cell exactly once (the
+//! second rides the first's in-flight lease) and any later request is
+//! served from the store without simulating at all.
+//!
+//! Transports:
+//!
+//! - default: requests on stdin, responses on stdout — one process per
+//!   client, store sharing across processes via the store directory;
+//! - `--socket <path>`: a unix-domain socket; each connection is a
+//!   request stream answered on the same connection, all connections
+//!   served concurrently against the shared in-process store.
+//!
+//! Request fields (`workloads`/`variants` are comma-separated lists;
+//! both accept `all`, `variants` defaults to the four headline configs):
+//!
+//! ```text
+//! {"sweep":"warm","workloads":"apsi,mgrid","variants":"base,pf",
+//!  "cores":4,"seed":11,"warmup":5000,"measure":20000,"threads":4}
+//! {"shutdown":1}
+//! ```
+//!
+//! Per-cell responses carry the cell's source (`store` or `computed`)
+//! and its headline counters; the closing summary reports the store
+//! hit rate for exactly this sweep. Example session:
+//!
+//! ```sh
+//! printf '%s\n' '{"sweep":"s","workloads":"apsi","cores":2,"warmup":2000,"measure":8000}' \
+//!   | CMPSIM_STORE=target/store cargo run --release -p cmpsim-bench --bin serve
+//! ```
+
+use cmpsim_core::experiment::{run_grid_parallel_store, SimLength};
+use cmpsim_core::flatjson::{parse_flat, JsonVal};
+use cmpsim_core::store::{CellKey, ResultStore};
+use cmpsim_core::{journal, CodecKind, SystemConfig, Variant};
+use cmpsim_trace::{all_workloads, WorkloadSpec};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The four headline configurations (the paper's Table 2 sweep).
+const HEADLINE: [Variant; 4] = [
+    Variant::Base,
+    Variant::BothCompression,
+    Variant::Prefetch,
+    Variant::PrefetchCompression,
+];
+
+struct Request {
+    sweep: String,
+    specs: Vec<WorkloadSpec>,
+    variants: Vec<Variant>,
+    base: SystemConfig,
+    len: SimLength,
+    threads: usize,
+}
+
+fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let kvs = parse_flat(line).ok_or_else(|| "not a flat JSON object".to_string())?;
+    let map: HashMap<String, JsonVal> = kvs.into_iter().collect();
+    if map.get("shutdown").and_then(JsonVal::as_u64) == Some(1) {
+        return Ok(None);
+    }
+    let str_field = |k: &str| map.get(k).and_then(JsonVal::as_str);
+    let num_field = |k: &str| map.get(k).and_then(JsonVal::as_u64);
+
+    let sweep = str_field("sweep").unwrap_or("sweep").to_string();
+    let workloads = str_field("workloads").ok_or("missing \"workloads\"")?;
+    let specs: Vec<WorkloadSpec> = if workloads == "all" {
+        all_workloads()
+    } else {
+        workloads
+            .split(',')
+            .map(|name| {
+                cmpsim_trace::workload(name.trim())
+                    .ok_or_else(|| format!("unknown workload {name:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let variants: Vec<Variant> = match str_field("variants") {
+        None => HEADLINE.to_vec(),
+        Some("all") => Variant::all().to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|label| {
+                let label = label.trim();
+                Variant::all()
+                    .into_iter()
+                    .find(|v| v.label() == label)
+                    .ok_or_else(|| format!("unknown variant {label:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let cores = num_field("cores").unwrap_or(4).clamp(1, 64) as u8;
+    let mut base = SystemConfig::paper_default(cores)
+        .with_seed(num_field("seed").unwrap_or(cmpsim_bench::SEED));
+    if let Some(codec) = str_field("codec") {
+        base = base.with_codec(match codec {
+            "fpc" => CodecKind::Fpc,
+            "bdi" => CodecKind::Bdi,
+            "zca" => CodecKind::Zca,
+            other => return Err(format!("unknown codec {other:?}")),
+        });
+    }
+    let default_len = cmpsim_bench::sim_length();
+    let len = SimLength {
+        warmup: num_field("warmup").unwrap_or(default_len.warmup),
+        measure: num_field("measure").unwrap_or(default_len.measure),
+    };
+    let threads = num_field("threads")
+        .map(|t| (t as usize).max(1))
+        .unwrap_or_else(cmpsim_harness::pool::default_threads);
+    Ok(Some(Request { sweep, specs, variants, base, len, threads }))
+}
+
+/// Runs one sweep against the shared store, streaming JSONL to `out`.
+fn serve_sweep(req: &Request, store: &Arc<ResultStore>, out: &mut dyn Write) -> std::io::Result<()> {
+    let fp = journal::fingerprint(&req.base, req.len);
+    // Label each cell's source up front with a counter-neutral probe, so
+    // the summary's hit/miss telemetry reflects only the sweep itself.
+    let stored_before: Vec<bool> = req
+        .specs
+        .iter()
+        .flat_map(|spec| {
+            req.variants.iter().map(|&v| {
+                store.contains(fp, &CellKey::new(spec.name, v, req.base.seed))
+            })
+        })
+        .collect();
+    let before = store.stats();
+    let sweep_result = run_grid_parallel_store(
+        &req.specs,
+        &req.base,
+        &req.variants,
+        req.len,
+        req.threads,
+        store,
+    );
+    let after = store.stats();
+    let cells = match sweep_result {
+        Ok(cells) => cells,
+        Err(e) => {
+            writeln!(
+                out,
+                "{{\"sweep\":\"{}\",\"error\":\"{}\"}}",
+                req.sweep,
+                e.to_string().replace(['"', '\\'], "'").replace('\n', " ")
+            )?;
+            return out.flush();
+        }
+    };
+    for (cell, was_stored) in cells.iter().zip(&stored_before) {
+        writeln!(
+            out,
+            "{{\"sweep\":\"{}\",\"workload\":\"{}\",\"variant\":\"{}\",\"seed\":{},\
+             \"source\":\"{}\",\"cycles\":{},\"instructions\":{},\"ipc_milli\":{}}}",
+            req.sweep,
+            cell.workload,
+            cell.variant.label(),
+            cell.seed,
+            if *was_stored { "store" } else { "computed" },
+            cell.result.cycles,
+            cell.result.stats.instructions,
+            (cell.result.ipc() * 1000.0).round() as u64,
+        )?;
+    }
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    let served = hits + misses;
+    writeln!(
+        out,
+        "{{\"sweep\":\"{}\",\"done\":1,\"cells\":{},\"store_hits\":{hits},\
+         \"store_misses\":{misses},\"hit_rate_pct\":{},\"corrupt_skipped\":{}}}",
+        req.sweep,
+        cells.len(),
+        if served == 0 { 0 } else { hits * 100 / served },
+        after.corrupt_skipped - before.corrupt_skipped,
+    )?;
+    out.flush()
+}
+
+/// Handles one request stream: a line per sweep until EOF or shutdown.
+/// Returns whether a shutdown request was seen.
+fn serve_stream(
+    reader: impl BufRead,
+    out: &mut dyn Write,
+    store: &Arc<ResultStore>,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Some(req)) => serve_sweep(&req, store, out)?,
+            Ok(None) => return Ok(true),
+            Err(e) => {
+                writeln!(out, "{{\"error\":\"{}\"}}", e.replace(['"', '\\'], "'"))?;
+                out.flush()?;
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store = ResultStore::open_default();
+    eprintln!("cmpsim serve: store at {}", store.dir().display());
+
+    match args.as_slice() {
+        [] => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            serve_stream(stdin.lock(), &mut stdout, &store).expect("stdio transport failed");
+        }
+        [flag, path] if flag == "--socket" => {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)
+                .unwrap_or_else(|e| panic!("cannot bind {path}: {e}"));
+            eprintln!("cmpsim serve: listening on {path}");
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let mut workers = Vec::new();
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn = match conn {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("cmpsim serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                // Concurrent connections share the store handle — this is
+                // where overlapping sweeps dedup against each other.
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                let sock_path = path.clone();
+                workers.push(std::thread::spawn(move || {
+                    let reader = BufReader::new(conn.try_clone().expect("clone socket"));
+                    let mut writer = conn;
+                    match serve_stream(reader, &mut writer, &store) {
+                        Ok(true) => {
+                            shutdown.store(true, Ordering::SeqCst);
+                            // Unblock the accept loop so it can observe
+                            // the flag and exit.
+                            let _ = std::os::unix::net::UnixStream::connect(&sock_path);
+                        }
+                        Ok(false) => {}
+                        Err(e) => eprintln!("cmpsim serve: connection failed: {e}"),
+                    }
+                }));
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+            let _ = std::fs::remove_file(path);
+        }
+        _ => {
+            eprintln!("usage: serve [--socket <path>]   (requests on stdin by default)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,6 +8,7 @@ use crate::error::{CellError, SimError};
 use crate::journal::{self, Journal, JournalEntry};
 use crate::metrics;
 use crate::stats::RunResult;
+use crate::store::{CellKey, Lease, ResultStore};
 use crate::system::System;
 use cmpsim_harness::telemetry::{progress_enabled, CellState, GridProgress, Heartbeat};
 use cmpsim_harness::{run_supervised, JobOutcome, Supervisor};
@@ -194,14 +195,73 @@ pub fn run_grid_parallel(
     len: SimLength,
     threads: usize,
 ) -> Result<Vec<GridCell>, SimError> {
+    run_grid_parallel_impl(specs, base, variants, len, threads, None)
+}
+
+/// [`run_grid_parallel`] consulting (and feeding) a content-addressed
+/// [`ResultStore`]: before scheduling, each cell is looked up under the
+/// sweep's structural [`journal::fingerprint`] and served from the store
+/// if present; only the delta is computed, and computed cells are
+/// published back. In-flight leases dedup against other sweeps sharing
+/// the same store handle, so two overlapping sweeps compute each shared
+/// cell exactly once.
+///
+/// The store is bit-inert: by the determinism contract above, a stored
+/// result is the exact bytes the cell would recompute, so warm and cold
+/// runs return identical grids (`tests/store.rs` pins this at 1/2/8
+/// threads, and the `store_gate` example extends the digest golden gate
+/// over it).
+///
+/// # Errors
+///
+/// Propagates the first (row-major) [`SimError`] any computed cell hits.
+pub fn run_grid_parallel_store(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+    threads: usize,
+    store: &Arc<ResultStore>,
+) -> Result<Vec<GridCell>, SimError> {
+    run_grid_parallel_impl(specs, base, variants, len, threads, Some(store))
+}
+
+fn run_grid_parallel_impl(
+    specs: &[WorkloadSpec],
+    base: &SystemConfig,
+    variants: &[Variant],
+    len: SimLength,
+    threads: usize,
+    store: Option<&Arc<ResultStore>>,
+) -> Result<Vec<GridCell>, SimError> {
     let variants_n = variants.len();
     let total = specs.len() * variants_n;
+    let fingerprint = store.map(|_| journal::fingerprint(base, len));
     // Progress is observability only: workers mark cells with relaxed
     // atomics, the heartbeat renders to stderr, and nothing feeds back
     // into the results (the determinism contract above is untouched).
     let progress = Arc::new(GridProgress::new(total, threads.max(1).min(total.max(1))));
     let heartbeat = progress_enabled().then(|| Heartbeat::start(Arc::clone(&progress)));
+
+    // Store consult happens before scheduling: hits never occupy a
+    // worker, so a 95%-warm sweep spends its threads on the 5% delta.
+    let mut prefilled: Vec<Option<GridCell>> = (0..total).map(|_| None).collect();
+    if let (Some(store), Some(fp)) = (store, fingerprint) {
+        for (si, spec) in specs.iter().enumerate() {
+            for (vi, &variant) in variants.iter().enumerate() {
+                let idx = si * variants_n + vi;
+                let key = CellKey::new(spec.name, variant, base.seed);
+                if let Some(result) = store.get(fp, &key) {
+                    prefilled[idx] =
+                        Some(GridCell { workload: spec.name, variant, seed: base.seed, result });
+                    progress.cell_cached(idx);
+                }
+            }
+        }
+    }
+
     let progress_ref = &progress;
+    let prefilled_ref = &prefilled;
     let jobs: Vec<_> = specs
         .iter()
         .enumerate()
@@ -209,7 +269,27 @@ pub fn run_grid_parallel(
             variants.iter().enumerate().map(move |(vi, &variant)| {
                 let idx = si * variants_n + vi;
                 let progress = Arc::clone(progress_ref);
-                move || {
+                let store = store.map(Arc::clone);
+                (idx, move || {
+                    // An overlapping sweep may have produced (or started)
+                    // this cell since the pre-schedule consult; the lease
+                    // either serves its result or claims the compute.
+                    let mut lease = None;
+                    if let (Some(s), Some(fp)) = (&store, fingerprint) {
+                        let key = CellKey::new(spec.name, variant, base.seed);
+                        match s.lease(fp, &key) {
+                            Lease::Hit(result) => {
+                                progress.cell_cached(idx);
+                                return Ok(GridCell {
+                                    workload: spec.name,
+                                    variant,
+                                    seed: base.seed,
+                                    result,
+                                });
+                            }
+                            Lease::Compute(l) => lease = Some(l),
+                        }
+                    }
                     progress.cell_started(idx);
                     let cell = run_variant(spec, base, variant, len).map(|result| GridCell {
                         workload: spec.name,
@@ -218,22 +298,36 @@ pub fn run_grid_parallel(
                         result,
                     });
                     match &cell {
-                        Ok(c) => progress.cell_finished(
-                            idx,
-                            true,
-                            c.result.events,
-                            c.result.host_nanos,
-                        ),
+                        Ok(c) => {
+                            progress.cell_finished(idx, true, c.result.events, c.result.host_nanos);
+                            if let Some(l) = lease {
+                                if let Err(e) = l.publish(&c.result) {
+                                    eprintln!("cmpsim: store publish failed: {e}");
+                                }
+                            }
+                        }
                         Err(_) => progress.cell_finished(idx, false, 0, 0),
                     }
                     cell
-                }
+                })
             })
         })
+        .filter(|(idx, _)| prefilled_ref[*idx].is_none())
+        .map(|(_, job)| job)
         .collect();
-    let out = cmpsim_harness::pool::run_indexed(threads, jobs).into_iter().collect();
+    let computed = cmpsim_harness::pool::run_indexed(threads, jobs);
     drop(heartbeat);
-    out
+    // Merge computed cells back into row-major order around the store
+    // hits, propagating the first (row-major) error.
+    let mut computed = computed.into_iter();
+    let mut out = Vec::with_capacity(total);
+    for slot in prefilled {
+        match slot {
+            Some(cell) => out.push(cell),
+            None => out.push(computed.next().expect("one computed cell per scheduled job")?),
+        }
+    }
+    Ok(out)
 }
 
 /// Policy for a [`run_grid_resilient`] sweep: how cells are supervised
@@ -247,12 +341,23 @@ pub struct ResilienceOptions {
     /// [`ResilienceOptions::default_journal_path`] for the conventional
     /// location under `target/grid/`.
     pub journal: Option<PathBuf>,
+    /// Content-addressed result store consulted before scheduling each
+    /// cell and fed as cells complete; `None` disables store reuse.
+    /// Unlike the journal (one sweep's checkpoint), the store is shared
+    /// across sweeps, configs and processes.
+    pub store: Option<Arc<ResultStore>>,
 }
 
 impl ResilienceOptions {
     /// Returns a copy journaling to `path`.
     pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
+        self
+    }
+
+    /// Returns a copy consulting (and feeding) `store`.
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -381,14 +486,66 @@ where
                     failures,
                 }));
                 progress.cell_skipped(idx);
+            } else if let Some(result) = opts
+                .store
+                .as_ref()
+                .and_then(|s| s.get(fingerprint, &CellKey::new(spec.name, variant, base.seed)))
+            {
+                // Store hit: the cell is never scheduled. Mirror it into
+                // this sweep's journal so a later resume stays complete
+                // even without the store.
+                if let Some(j) = &journal {
+                    let entry = JournalEntry {
+                        workload: spec.name.to_string(),
+                        variant,
+                        seed: base.seed,
+                        result: result.clone(),
+                    };
+                    if let Err(e) = lock_journal(j).append(&entry) {
+                        eprintln!("cmpsim: journal append failed: {e}");
+                    }
+                }
+                out[idx] = Some(Ok(GridCell {
+                    workload: spec.name,
+                    variant,
+                    seed: base.seed,
+                    result,
+                }));
+                progress.cell_cached(idx);
             } else {
                 job_slots.push((idx, spec.name, variant));
                 let spec = spec.clone();
                 let base = base.clone();
                 let cell_fn = Arc::clone(&cell_fn);
                 let journal = journal.clone();
+                let store = opts.store.clone();
                 let progress = Arc::clone(&progress);
                 jobs.push(move || -> Result<RunResult, SimError> {
+                    // A sweep overlapping on the same store may have
+                    // produced (or be producing) this cell; take a lease
+                    // so each shared cell is computed exactly once.
+                    let mut lease = None;
+                    if let Some(s) = &store {
+                        let key = CellKey::new(spec.name, variant, base.seed);
+                        match s.lease(fingerprint, &key) {
+                            Lease::Hit(result) => {
+                                progress.cell_cached(idx);
+                                if let Some(j) = &journal {
+                                    let entry = JournalEntry {
+                                        workload: spec.name.to_string(),
+                                        variant,
+                                        seed: base.seed,
+                                        result: result.clone(),
+                                    };
+                                    if let Err(e) = lock_journal(j).append(&entry) {
+                                        eprintln!("cmpsim: journal append failed: {e}");
+                                    }
+                                }
+                                return Ok(result);
+                            }
+                            Lease::Compute(l) => lease = Some(l),
+                        }
+                    }
                     progress.cell_started(idx);
                     let result = cell_fn(&spec, &base, variant);
                     match &result {
@@ -396,6 +553,11 @@ where
                         Err(_) => progress.cell_finished(idx, false, 0, 0),
                     }
                     let result = result?;
+                    if let Some(l) = lease {
+                        if let Err(e) = l.publish(&result) {
+                            eprintln!("cmpsim: store publish failed: {e}");
+                        }
+                    }
                     // Journal inside the job so a later kill loses only
                     // cells that had not finished.
                     if let Some(j) = &journal {
@@ -422,7 +584,10 @@ where
         // settle them here so the final status line accounts for every
         // cell. (An abandoned timed-out thread may still be running, but
         // progress is display-only state and feeds nothing back.)
-        if !matches!(progress.state(slot), CellState::Done | CellState::Failed) {
+        if !matches!(
+            progress.state(slot),
+            CellState::Done | CellState::Failed | CellState::Cached
+        ) {
             progress.cell_finished(slot, false, 0, 0);
         }
         let resolved = match outcome {

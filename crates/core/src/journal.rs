@@ -38,23 +38,31 @@
 //!   [`MAX_CELL_FAILURES`] times is quarantined — resume skips it with an
 //!   explicit error instead of re-running it forever.
 
-use crate::config::{SystemConfig, Variant};
+use crate::config::{PrefetchMode, SystemConfig, Variant};
 use crate::experiment::SimLength;
+use crate::flatjson::{check_seal, parse_flat, seal, JsonVal};
 use crate::stats::{LevelStats, RunResult, SimStats};
+use cmpsim_harness::chaos::FaultPlan;
+use cmpsim_link::LinkBandwidth;
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
-/// Journal format version (bump on any encoding change; old files are
-/// then discarded via the fingerprint line).
+/// Journal format version (bump on any encoding or fingerprint-semantics
+/// change; old files are then rotated aside via the header check).
 ///
 /// v2: added the simulator-throughput fields (`events`, `retired`,
 /// `host_nanos`) to each cell line.
 ///
 /// v3: per-record `crc` checksums, journaled failure records (feeding
 /// the quarantine list), and the chaos-engine fault counters.
-const VERSION: u64 = 3;
+///
+/// v4: [`fingerprint`] became an explicit structural field-by-field hash
+/// (it previously hashed the config's `Debug` rendering, so any derive
+/// or field-order refactor silently invalidated every stored result);
+/// the same fingerprint now also keys the persistent result store.
+pub(crate) const VERSION: u64 = 4;
 
 /// Journaled failures of one cell before resume quarantines it.
 pub const MAX_CELL_FAILURES: u32 = 2;
@@ -159,11 +167,14 @@ impl Journal {
     /// Reads back everything recoverable from an existing journal.
     ///
     /// A missing file yields an empty snapshot. A file whose header is
-    /// absent or carries a different fingerprint is **discarded**
-    /// (deleted) and yields an empty snapshot — resuming it under this
-    /// sweep would mix results from a different configuration. A torn
-    /// tail (kill mid-append) is truncated off the file; corrupt middle
-    /// lines are skipped individually with their line number and reason.
+    /// absent or carries a different fingerprint is **rotated aside** to
+    /// `<path>.stale.<its fingerprint>` and yields an empty snapshot —
+    /// resuming it under this sweep would mix results from a different
+    /// configuration, but deleting it would destroy another sweep's
+    /// completed cells (the other sweep can still be pointed back at the
+    /// rotated file). A torn tail (kill mid-append) is truncated off the
+    /// file; corrupt middle lines are skipped individually with their
+    /// line number and reason.
     ///
     /// # Errors
     ///
@@ -208,7 +219,7 @@ impl Journal {
             })
             .unwrap_or(false);
         if !header_ok {
-            fs::remove_file(&self.path).map_err(|e| self.io_err("reset", e))?;
+            self.rotate_stale(&text)?;
             return Ok(JournalSnapshot::default());
         }
         for (idx, line) in lines.enumerate() {
@@ -221,6 +232,40 @@ impl Journal {
             }
         }
         Ok(snap)
+    }
+
+    /// Moves a journal whose header does not match this sweep out of the
+    /// way as `<path>.stale.<fingerprint>`, keyed by the *stale file's*
+    /// own fingerprint (or `unreadable` when not even the header parses).
+    /// A whitespace-only file carries no data worth keeping and is simply
+    /// removed. Rotation overwrites an earlier rotation of the same
+    /// fingerprint — same lineage, newer content — so stale files cannot
+    /// accumulate without bound.
+    fn rotate_stale(&self, text: &str) -> Result<(), JournalError> {
+        if text.trim().is_empty() {
+            fs::remove_file(&self.path).map_err(|e| self.io_err("reset", e))?;
+            return Ok(());
+        }
+        let theirs = text
+            .lines()
+            .next()
+            .and_then(parse_flat)
+            .and_then(|kvs| {
+                kvs.into_iter()
+                    .find(|(k, _)| k == "fingerprint")
+                    .and_then(|(_, v)| v.as_str().map(str::to_string))
+            })
+            .filter(|fp| fp.len() == 16 && fp.bytes().all(|b| b.is_ascii_hexdigit()))
+            .unwrap_or_else(|| "unreadable".to_string());
+        let mut stale = self.path.as_os_str().to_os_string();
+        stale.push(format!(".stale.{theirs}"));
+        let stale = PathBuf::from(stale);
+        eprintln!(
+            "cmpsim: journal {} belongs to a different sweep; rotated aside to {}",
+            self.path.display(),
+            stale.display()
+        );
+        fs::rename(&self.path, &stale).map_err(|e| self.io_err("rotate stale", e))
     }
 
     /// [`load`](Self::load), reduced to the completed cells (the v2
@@ -298,17 +343,117 @@ impl Journal {
     }
 }
 
-/// Hashes the sweep-defining inputs (base configuration + simulation
-/// length) into the journal fingerprint. Uses FNV-1a over the config's
-/// `Debug` rendering: any config field change — including new fields —
-/// invalidates old journals, which is exactly the safe direction.
-pub fn fingerprint(base: &SystemConfig, len: SimLength) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{base:?}|{}|{}", len.warmup, len.measure).bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Incremental FNV-1a/64 over explicitly named fields: each field is
+/// folded as `name ':' value-bytes ';'`, so reordering fields in the
+/// *struct* cannot change the hash (the hasher controls the order), and
+/// two adjacent fields can never collide by concatenation.
+pub(crate) struct StructHash {
+    h: u64,
+}
+
+impl StructHash {
+    pub(crate) fn new() -> Self {
+        StructHash { h: 0xcbf2_9ce4_8422_2325 }
     }
-    h
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.bytes(name.as_bytes());
+        self.bytes(b":");
+        self.bytes(&v.to_le_bytes());
+        self.bytes(b";");
+        self
+    }
+
+    pub(crate) fn bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.u64(name, u64::from(v))
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+/// Hashes the sweep-defining inputs (base configuration + simulation
+/// length) into the structural fingerprint keying both the checkpoint
+/// journal and the persistent result store.
+///
+/// Every field is hashed **explicitly, by name and value** — never via a
+/// `Debug` rendering, whose bytes change under derive or field-order
+/// refactors and silently invalidate (or worse, collide) every stored
+/// result. The hash is pinned by a golden test vector
+/// (`fingerprint_matches_pinned_vector`), so an accidental change to its
+/// inputs or mixing is caught in review, and a deliberate one must bump
+/// [`VERSION`].
+///
+/// Three kinds of input are deliberately **excluded**:
+///
+/// - `base.seed` — the seed is a separate axis of the result key (every
+///   journal/store record carries its own), so sweeps over many seeds
+///   share one fingerprint;
+/// - `check_invariants` and `livelock_cycle_budget` — supervision knobs
+///   that can abort a run but can never alter a *completed* result;
+/// - nothing else: all remaining config fields shape simulated behavior.
+///
+/// One environment input is **included**: an armed `CMPSIM_CHAOS` plan
+/// changes simulated results, so its seed and rate are folded in —
+/// results computed under fault injection can never be served to (or
+/// poisoned by) a clean sweep.
+pub fn fingerprint(base: &SystemConfig, len: SimLength) -> u64 {
+    let mut h = StructHash::new();
+    h.u64("schema", VERSION);
+    h.u64("cores", u64::from(base.cores));
+    h.u64("clock_ghz", u64::from(base.clock_ghz));
+    h.u64("issue_width", base.issue_width);
+    h.u64("rob_size", base.rob_size);
+    h.u64("mshrs_per_core", base.mshrs_per_core as u64);
+    h.u64("l1_bytes", base.l1_bytes as u64);
+    h.u64("l1_ways", base.l1_ways as u64);
+    h.u64("l1_latency", base.l1_latency);
+    h.u64("l2_bytes", base.l2_bytes as u64);
+    h.u64("l2_banks", base.l2_banks as u64);
+    h.u64("l2_latency", base.l2_latency);
+    h.u64("decompression_latency", base.decompression_latency);
+    h.u64(
+        "codec",
+        match base.codec {
+            cmpsim_fpc::CodecKind::Fpc => 0,
+            cmpsim_fpc::CodecKind::Bdi => 1,
+            cmpsim_fpc::CodecKind::Zca => 2,
+        },
+    );
+    h.u64("l1_to_l2_latency", base.l1_to_l2_latency);
+    h.u64("probe_latency", base.probe_latency);
+    h.u64("mem_latency", base.mem_latency);
+    match base.link {
+        LinkBandwidth::Infinite => h.u64("link.infinite", 1),
+        LinkBandwidth::GBps(g) => h.u64("link.gbps", u64::from(g)),
+    };
+    h.bool("cache_compression", base.cache_compression);
+    h.bool("adaptive_compression", base.adaptive_compression);
+    h.bool("link_compression", base.link_compression);
+    h.u64(
+        "prefetch",
+        match base.prefetch {
+            PrefetchMode::Off => 0,
+            PrefetchMode::Stride => 1,
+            PrefetchMode::Adaptive => 2,
+        },
+    );
+    h.u64("l2_prefetch_degree", u64::from(base.l2_prefetch_degree));
+    h.u64("warmup", len.warmup);
+    h.u64("measure", len.measure);
+    if let Some(plan) = FaultPlan::from_env() {
+        h.u64("chaos.seed", plan.seed());
+        h.u64("chaos.rate.bits", plan.rate().to_bits());
+    }
+    h.finish()
 }
 
 /// Default journal directory: `CMPSIM_GRID_DIR`, else
@@ -430,41 +575,7 @@ fn numeric_fields(r: &RunResult) -> Vec<(String, u64)> {
     kv
 }
 
-/// FNV-1a (32-bit) over a record's byte prefix — the per-record checksum.
-fn fnv32(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
-/// Closes an open record body (`{"k":v,...` — no trailing brace) with
-/// its checksum field: the crc covers every byte before the `,"crc"`.
-fn seal(mut body: String) -> String {
-    let crc = fnv32(body.as_bytes());
-    body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
-    body
-}
-
-/// Verifies and strips a record's trailing checksum, returning the body.
-fn check_seal(line: &str) -> Result<&str, String> {
-    let pos = line
-        .rfind(",\"crc\":\"")
-        .ok_or_else(|| "missing crc field".to_string())?;
-    let tail = &line[pos + 8..];
-    let hex = tail.strip_suffix("\"}").ok_or_else(|| "malformed crc field".to_string())?;
-    let recorded =
-        u32::from_str_radix(hex, 16).map_err(|_| "malformed crc field".to_string())?;
-    let actual = fnv32(line[..pos].as_bytes());
-    if actual != recorded {
-        return Err(format!("crc mismatch (recorded {recorded:08x}, computed {actual:08x})"));
-    }
-    Ok(&line[..pos])
-}
-
-fn encode_entry(e: &JournalEntry) -> String {
+pub(crate) fn encode_entry(e: &JournalEntry) -> String {
     debug_assert!(
         !e.workload.contains(['"', '\\']),
         "workload names are plain identifiers"
@@ -501,12 +612,12 @@ fn encode_failure(workload: &str, variant: Variant, seed: u64, error: &str) -> S
 
 /// One checksum-verified journal record.
 #[derive(Debug)]
-enum Decoded {
+pub(crate) enum Decoded {
     Entry(JournalEntry),
     Failure { workload: String, variant: Variant, seed: u64 },
 }
 
-fn decode_line(line: &str) -> Result<Decoded, String> {
+pub(crate) fn decode_line(line: &str) -> Result<Decoded, String> {
     check_seal(line)?;
     let kvs = parse_flat(line).ok_or_else(|| "malformed record".to_string())?;
     let map: HashMap<String, JsonVal> = kvs.into_iter().collect();
@@ -594,73 +705,6 @@ fn decode_entry(line: &str) -> Option<JournalEntry> {
     s.faults.dir_messages_lost = num_of("stats.faults.dir_messages_lost")?;
     s.faults.dir_retries = num_of("stats.faults.dir_retries")?;
     Some(JournalEntry { workload, variant, seed, result: r })
-}
-
-// -------------------------------------------------------------- parsing
-
-/// The two value shapes this journal emits.
-#[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
-    Str(String),
-    Num(u64),
-}
-
-/// Parses one flat JSON object of string/u64 values (the only shape the
-/// encoder produces: no nesting, no escapes, no floats). Returns `None`
-/// on anything else.
-fn parse_flat(line: &str) -> Option<Vec<(String, JsonVal)>> {
-    let mut out = Vec::new();
-    let bytes = line.trim().as_bytes();
-    let mut i = 0usize;
-    let eat = |i: &mut usize, b: u8| -> Option<()> {
-        if bytes.get(*i) == Some(&b) {
-            *i += 1;
-            Some(())
-        } else {
-            None
-        }
-    };
-    let string = |i: &mut usize| -> Option<String> {
-        eat(i, b'"')?;
-        let start = *i;
-        while *i < bytes.len() && bytes[*i] != b'"' {
-            if bytes[*i] == b'\\' {
-                return None; // the encoder never escapes
-            }
-            *i += 1;
-        }
-        let s = std::str::from_utf8(&bytes[start..*i]).ok()?.to_string();
-        eat(i, b'"')?;
-        Some(s)
-    };
-    let number = |i: &mut usize| -> Option<u64> {
-        let start = *i;
-        while *i < bytes.len() && bytes[*i].is_ascii_digit() {
-            *i += 1;
-        }
-        std::str::from_utf8(&bytes[start..*i]).ok()?.parse().ok()
-    };
-
-    eat(&mut i, b'{')?;
-    if bytes.get(i) == Some(&b'}') {
-        return (i + 1 == bytes.len()).then_some(out);
-    }
-    loop {
-        let key = string(&mut i)?;
-        eat(&mut i, b':')?;
-        let val = if bytes.get(i) == Some(&b'"') {
-            JsonVal::Str(string(&mut i)?)
-        } else {
-            JsonVal::Num(number(&mut i)?)
-        };
-        out.push((key, val));
-        match bytes.get(i) {
-            Some(b',') => i += 1,
-            Some(b'}') => break,
-            _ => return None,
-        }
-    }
-    (i + 1 == bytes.len()).then_some(out)
 }
 
 #[cfg(test)]
@@ -770,8 +814,59 @@ mod tests {
         assert_eq!(fingerprint(&a, l1), fingerprint(&a.clone(), l1));
     }
 
+    /// The structural fingerprint is pinned to a golden vector: it may
+    /// only change together with a deliberate [`VERSION`] bump. The
+    /// `Debug`-rendering hash this replaced fails here by construction —
+    /// its value moved under every derive or field-order refactor.
     #[test]
-    fn load_append_and_mismatch_reset() {
+    fn fingerprint_matches_pinned_vector() {
+        let base = SystemConfig::paper_default(8);
+        let len = SimLength::standard();
+        assert_eq!(
+            fingerprint(&base, len),
+            0xee03_b1a3_bbb3_75c3,
+            "structural fingerprint drifted: either an input field was \
+             added/removed/re-mixed accidentally, or this is a deliberate \
+             format change that must bump journal::VERSION and re-pin"
+        );
+    }
+
+    /// Regression: the fingerprint must be a function of fields that
+    /// shape simulated results — not of the seed (a separate key axis)
+    /// and not of supervision knobs that can only abort a run. The
+    /// pre-v4 `Debug` hash folded all three in.
+    #[test]
+    fn fingerprint_ignores_seed_and_supervision_knobs() {
+        let base = SystemConfig::paper_default(4);
+        let len = SimLength { warmup: 10, measure: 20 };
+        let fp = fingerprint(&base, len);
+        assert_eq!(fp, fingerprint(&base.clone().with_seed(99), len));
+        assert_eq!(fp, fingerprint(&base.clone().with_invariant_checks(true), len));
+        assert_eq!(fp, fingerprint(&base.clone().with_livelock_budget(1), len));
+    }
+
+    #[test]
+    fn fingerprint_separates_every_structural_axis() {
+        let base = SystemConfig::paper_default(4);
+        let len = SimLength { warmup: 10, measure: 20 };
+        let fp = fingerprint(&base, len);
+        let variants: Vec<SystemConfig> = vec![
+            SystemConfig { l2_bytes: base.l2_bytes * 2, ..base.clone() },
+            base.clone().with_codec(cmpsim_fpc::CodecKind::Bdi),
+            base.clone().with_link(LinkBandwidth::Infinite),
+            base.clone().with_link(LinkBandwidth::GBps(40)),
+            base.clone().with_compression(true, true),
+            base.clone().with_prefetch(PrefetchMode::Adaptive),
+            SystemConfig { mem_latency: 401, ..base.clone() },
+            SystemConfig { l2_prefetch_degree: 24, ..base.clone() },
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            assert_ne!(fp, fingerprint(cfg, len), "variant {i} must change the fingerprint");
+        }
+    }
+
+    #[test]
+    fn load_append_and_mismatch_rotation() {
         let dir = std::env::temp_dir().join(format!(
             "cmpsim-journal-test-{}-{}",
             std::process::id(),
@@ -796,10 +891,62 @@ mod tests {
         assert_eq!(back[0], e);
         assert_eq!(back[1].workload, "mgrid");
 
-        // A journal written under another fingerprint is discarded.
+        // A journal written under another fingerprint yields nothing for
+        // *this* sweep but survives on disk for its own.
+        let original = fs::read_to_string(&path).unwrap();
         let other = Journal::new(&path, 0xbeef);
         assert_eq!(other.load_or_reset().unwrap(), vec![]);
-        assert!(!path.exists(), "mismatched journal is deleted");
+        assert!(!path.exists(), "mismatched journal is moved out of the way");
+        let stale = dir.join(format!("grid.jsonl.stale.{:016x}", 0xdead_u64));
+        assert_eq!(
+            fs::read_to_string(&stale).unwrap(),
+            original,
+            "rotation must preserve the other sweep's completed cells byte-for-byte"
+        );
+        // The original sweep can be pointed at the rotated file and
+        // recovers every cell.
+        let recovered = Journal::new(&stale, 0xdead).load_or_reset().unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0], e);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the destructive pre-fix behavior: resuming sweep B
+    /// over sweep A's journal used to `remove_file` A's completed cells.
+    /// Now A's work must survive a full B lifecycle (load + append).
+    #[test]
+    fn foreign_sweep_resume_does_not_destroy_completed_cells() {
+        let dir = std::env::temp_dir()
+            .join(format!("cmpsim-journal-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("grid.jsonl");
+        let a = Journal::new(&path, 0xa);
+        let cell = JournalEntry {
+            workload: "apsi".into(),
+            variant: Variant::Prefetch,
+            seed: 11,
+            result: distinct_result(),
+        };
+        a.append(&cell).unwrap();
+        let a_bytes = fs::read_to_string(&path).unwrap();
+
+        // Sweep B resumes over the same path, finds nothing, and runs a
+        // full journaled sweep of its own.
+        let b = Journal::new(&path, 0xb);
+        assert_eq!(b.load_or_reset().unwrap(), vec![], "B starts empty");
+        b.append(&JournalEntry { workload: "mgrid".into(), ..cell.clone() }).unwrap();
+        assert_eq!(b.load_or_reset().unwrap().len(), 1, "B journals independently");
+
+        // A's cells are intact in the rotated file.
+        let stale = dir.join(format!("grid.jsonl.stale.{:016x}", 0xa_u64));
+        assert_eq!(fs::read_to_string(&stale).unwrap(), a_bytes);
+        assert_eq!(Journal::new(&stale, 0xa).load_or_reset().unwrap(), vec![cell]);
+
+        // An *empty* mismatched file carries nothing worth rotating.
+        let empty = dir.join("empty.jsonl");
+        fs::write(&empty, "").unwrap();
+        assert_eq!(Journal::new(&empty, 0xc).load_or_reset().unwrap(), vec![]);
+        assert!(!empty.exists(), "empty files are still removed outright");
         let _ = fs::remove_dir_all(&dir);
     }
 

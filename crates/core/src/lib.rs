@@ -45,10 +45,12 @@ mod config;
 mod core_model;
 pub mod error;
 pub mod experiment;
+pub mod flatjson;
 pub mod journal;
 pub mod metrics;
 pub mod report;
 mod stats;
+pub mod store;
 mod system;
 pub mod telemetry;
 
@@ -57,5 +59,6 @@ pub use cmpsim_harness::chaos::{FaultPlan, FaultSite};
 pub use config::{PrefetchMode, SystemConfig, Variant};
 pub use error::{CellError, SimError};
 pub use stats::{FaultStats, LevelStats, RunResult, SimStats, TelemetrySample};
+pub use store::{CellKey, Lease, ResultStore, StoreStats};
 pub use system::System;
 pub use telemetry::{TraceKind, TraceOptions};

@@ -1,0 +1,922 @@
+//! Persistent, content-addressed experiment result store.
+//!
+//! Where the checkpoint [`journal`](crate::journal) makes *one* sweep
+//! resumable, the store makes results reusable **across** sweeps,
+//! processes and days: every completed cell is addressed by
+//! `(structural config fingerprint, workload, variant, seed)` — with the
+//! simulation length folded into the fingerprint — and a sweep consults
+//! the store before scheduling each cell, computes only the delta, and
+//! publishes what it computed. A million-cell sweep whose cells mostly
+//! exist already finishes in the time it takes to read them back, and
+//! two overlapping sweeps share work instead of repeating it.
+//!
+//! On-disk layout (under [`default_store_dir`], overridable via
+//! `CMPSIM_STORE`):
+//!
+//! ```text
+//! target/store/
+//!   <fingerprint>.jsonl   # data: header + CRC-sealed cell records
+//!   <fingerprint>.idx     # index: one "key → byte offset/len" line per record
+//!   lru.jsonl             # logical-clock touch records driving eviction
+//! ```
+//!
+//! The data file reuses the journal's framing byte-for-byte: a
+//! `{"cmpsim_store":…,"fingerprint":"…"}` header (tempfile + atomic
+//! rename) followed by one sealed record per cell, each carrying an
+//! FNV-1a-32 `crc` so in-place corruption is detected and the cell
+//! recomputed rather than silently served wrong. The `.idx` sidecar
+//! makes a cold lookup O(1): one line per record mapping the cell key to
+//! the record's byte range, so a hit reads *only that record* from the
+//! data file. The index is disposable — if it is missing, stale (a crash
+//! between the data append and the index append) or lies (its range
+//! fails the CRC), the store falls back to scanning the data file and
+//! rewrites the index.
+//!
+//! Size is bounded: when the data files exceed the configured budget
+//! (`CMPSIM_STORE_MAX_BYTES`, default 512 MiB), whole fingerprint files
+//! are evicted least-recently-*touched* first, driven by a logical
+//! counter in `lru.jsonl` — no wall-clock reads, so store behavior stays
+//! deterministic.
+//!
+//! Concurrency: a store handle is `Sync` and meant to be shared
+//! (`Arc<ResultStore>`) by every sweep in the process. [`lease`]
+//! (ResultStore::lease) dedups *in-flight* work — the first sweep to ask
+//! for a missing cell computes it while later askers block until the
+//! result is published, so overlapping sweeps compute each cell exactly
+//! once. Cross-process sharing is append-only and last-wins: concurrent
+//! appends of the same cell are benign (the records are bit-identical by
+//! the determinism contract).
+//!
+//! The store is **bit-inert**: a warm run decodes to exactly the
+//! `RunResult` the cold run produced (the journal's bit-exact encoding),
+//! so `run_grid_*` results — and the `grid_digest` golden gate — are
+//! identical with the store cold, warm, or absent.
+
+use crate::config::Variant;
+use crate::journal::{self, JournalEntry};
+use crate::stats::RunResult;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Store format version, written into every data-file header. Bumping it
+/// orphans old files (they stop matching and are eventually evicted).
+pub const STORE_VERSION: u64 = 1;
+
+/// Default size budget for the data files: 512 MiB.
+pub const DEFAULT_MAX_BYTES: u64 = 512 * 1024 * 1024;
+
+/// The per-cell part of a store address; the config/length part is the
+/// structural [`journal::fingerprint`] the store shards files by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration variant.
+    pub variant: Variant,
+    /// Seed the cell runs with.
+    pub seed: u64,
+}
+
+impl CellKey {
+    /// Convenience constructor.
+    pub fn new(workload: impl Into<String>, variant: Variant, seed: u64) -> Self {
+        CellKey { workload: workload.into(), variant, seed }
+    }
+}
+
+/// Hit/miss/maintenance counters for one store handle (not persisted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups served from the store (memory or disk).
+    pub hits: u64,
+    /// Compute claims granted by [`ResultStore::lease`] — the cells that
+    /// actually had to be simulated. Plain [`ResultStore::get`] probes
+    /// count hits only, so a probe-then-lease sequence (how the grid
+    /// drivers consult the store) tallies each cell exactly once.
+    pub misses: u64,
+    /// Results published into the store by this handle.
+    pub published: u64,
+    /// Lease requests that blocked on another sweep computing the same
+    /// cell and were then served its published result.
+    pub shared_waits: u64,
+    /// Records skipped because their CRC (or framing) failed — each one
+    /// recomputes instead of serving corrupt data.
+    pub corrupt_skipped: u64,
+    /// Whole fingerprint files evicted by the size bound.
+    pub evicted_files: u64,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+}
+
+impl StoreStats {
+    /// Hit rate over all lookups, as a percentage (0 when idle).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// Store I/O failure, tagged with the path and operation (mirrors
+/// [`journal::JournalError`]).
+#[derive(Debug)]
+pub struct StoreError {
+    /// File the operation touched.
+    pub path: PathBuf,
+    /// What the store was doing.
+    pub op: &'static str,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store {} failed for {}: {}", self.op, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Outcome of [`ResultStore::lease`].
+#[derive(Debug)]
+pub enum Lease {
+    /// The cell exists (or was just published by another sweep we waited
+    /// on); here is its bit-identical result.
+    Hit(RunResult),
+    /// The cell is missing and this caller owns computing it. Publish
+    /// through the guard; dropping it unpublished releases the claim so
+    /// a waiting sweep computes instead.
+    Compute(ComputeLease),
+}
+
+/// Exclusive claim on computing one missing cell (see [`Lease`]).
+#[derive(Debug)]
+pub struct ComputeLease {
+    store: Arc<ResultStore>,
+    fp: u64,
+    key: CellKey,
+    done: bool,
+}
+
+impl ComputeLease {
+    /// Publishes the computed result under the leased key and wakes any
+    /// sweeps waiting on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the data/index append; the claim is
+    /// released either way.
+    pub fn publish(mut self, result: &RunResult) -> Result<(), StoreError> {
+        self.done = true;
+        self.store.publish_leased(self.fp, &self.key, result)
+    }
+}
+
+impl Drop for ComputeLease {
+    fn drop(&mut self) {
+        if !self.done {
+            self.store.abandon(self.fp, &self.key);
+        }
+    }
+}
+
+/// Per-fingerprint in-memory view of one data/index file pair.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Key → `(offset, len)` of the sealed record in the data file
+    /// (last-wins on duplicate appends).
+    offsets: HashMap<CellKey, (u64, u32)>,
+    /// Records already decoded this session.
+    decoded: HashMap<CellKey, RunResult>,
+    /// Whether the data file existed with a valid header at load time
+    /// (false until the first publish creates it).
+    on_disk: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shards: HashMap<u64, Shard>,
+    /// In-flight computes, deduplicating overlapping sweeps.
+    pending: HashMap<(u64, CellKey), ()>,
+    /// Logical LRU clock (max of `lru.jsonl` at open, then monotonic).
+    touch_seq: u64,
+    /// Last-touch per fingerprint, mirrored to `lru.jsonl`.
+    touched: HashMap<u64, u64>,
+    stats: StoreStats,
+}
+
+/// A persistent, content-addressed store of experiment results. See the
+/// module docs for layout, keying, eviction and the concurrency model.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<Inner>,
+    published_cond: Condvar,
+}
+
+/// Default store directory: `CMPSIM_STORE`, else the sibling of the
+/// journal dir (`$CARGO_TARGET_DIR/store`, the nearest enclosing
+/// `target/`, or `./target/store`).
+pub fn default_store_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("CMPSIM_STORE") {
+        return PathBuf::from(d);
+    }
+    let grid = journal::default_journal_dir();
+    match grid.parent() {
+        Some(p) => p.join("store"),
+        None => PathBuf::from("target/store"),
+    }
+}
+
+impl ResultStore {
+    /// Opens (creating lazily on first publish) a store rooted at `dir`,
+    /// with the size budget from `CMPSIM_STORE_MAX_BYTES` (bytes; default
+    /// [`DEFAULT_MAX_BYTES`]).
+    pub fn open(dir: impl Into<PathBuf>) -> Arc<ResultStore> {
+        let max_bytes = std::env::var("CMPSIM_STORE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_MAX_BYTES);
+        Self::with_capacity(dir, max_bytes)
+    }
+
+    /// Opens the default store ([`default_store_dir`], i.e. honoring
+    /// `CMPSIM_STORE`).
+    pub fn open_default() -> Arc<ResultStore> {
+        Self::open(default_store_dir())
+    }
+
+    /// [`open`](Self::open) with an explicit size budget in bytes.
+    pub fn with_capacity(dir: impl Into<PathBuf>, max_bytes: u64) -> Arc<ResultStore> {
+        let dir = dir.into();
+        let store = ResultStore {
+            dir,
+            max_bytes: max_bytes.max(1),
+            inner: Mutex::new(Inner::default()),
+            published_cond: Condvar::new(),
+        };
+        {
+            let mut inner = store.lock();
+            store.load_lru(&mut inner);
+        }
+        Arc::new(store)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of this handle's hit/miss/maintenance counters.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+
+    /// Non-blocking lookup: the stored result for `(fp, key)`, if any.
+    /// Counts a hit when found; a probe miss is not tallied (the lease
+    /// that follows it counts the compute — see [`StoreStats::misses`]).
+    pub fn get(&self, fp: u64, key: &CellKey) -> Option<RunResult> {
+        let mut inner = self.lock();
+        let found = self.lookup(&mut inner, fp, key);
+        if found.is_some() {
+            inner.stats.hits += 1;
+        }
+        found
+    }
+
+    /// Counter-neutral membership probe: whether `(fp, key)` is stored
+    /// (and decodable), without tallying a hit. For planning/telemetry —
+    /// e.g. the serve daemon labels each cell's source before a sweep.
+    pub fn contains(&self, fp: u64, key: &CellKey) -> bool {
+        let mut inner = self.lock();
+        self.lookup(&mut inner, fp, key).is_some()
+    }
+
+    /// Looks the cell up; on a miss, either claims the compute for this
+    /// caller or — when another sweep already holds the claim — blocks
+    /// until that sweep publishes (then returns its result) or abandons
+    /// (then claims for this caller). This is what lets two overlapping
+    /// sweeps share a store and still compute every cell exactly once.
+    pub fn lease(self: &Arc<Self>, fp: u64, key: &CellKey) -> Lease {
+        let mut inner = self.lock();
+        let mut waited = false;
+        loop {
+            if let Some(r) = self.lookup(&mut inner, fp, key) {
+                inner.stats.hits += 1;
+                if waited {
+                    inner.stats.shared_waits += 1;
+                }
+                return Lease::Hit(r);
+            }
+            if inner.pending.contains_key(&(fp, key.clone())) {
+                waited = true;
+                inner = self
+                    .published_cond
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            inner.pending.insert((fp, key.clone()), ());
+            inner.stats.misses += 1;
+            return Lease::Compute(ComputeLease {
+                store: Arc::clone(self),
+                fp,
+                key: key.clone(),
+                done: false,
+            });
+        }
+    }
+
+    /// Publishes a result without a lease (e.g. warming the store from a
+    /// journal). Appends to the data file, then the index, then updates
+    /// the in-memory shard and the LRU clock, then enforces the size
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the appends.
+    pub fn publish(&self, fp: u64, key: &CellKey, result: &RunResult) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        self.publish_locked(&mut inner, fp, key, result)?;
+        self.published_cond.notify_all();
+        Ok(())
+    }
+
+    fn publish_leased(&self, fp: u64, key: &CellKey, result: &RunResult) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        inner.pending.remove(&(fp, key.clone()));
+        let out = self.publish_locked(&mut inner, fp, key, result);
+        drop(inner);
+        self.published_cond.notify_all();
+        out
+    }
+
+    fn abandon(&self, fp: u64, key: &CellKey) {
+        let mut inner = self.lock();
+        inner.pending.remove(&(fp, key.clone()));
+        drop(inner);
+        self.published_cond.notify_all();
+    }
+
+    // ------------------------------------------------------ internals
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while publishing must not wedge every other sweep.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn data_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{fp:016x}.jsonl"))
+    }
+
+    fn index_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("{fp:016x}.idx"))
+    }
+
+    fn lru_path(&self) -> PathBuf {
+        self.dir.join("lru.jsonl")
+    }
+
+    fn err(path: &Path, op: &'static str, source: io::Error) -> StoreError {
+        StoreError { path: path.to_path_buf(), op, source }
+    }
+
+    /// Finds `(fp, key)` in the shard, decoding its record from the data
+    /// file on first access (CRC-verified; a bad record is dropped from
+    /// the index view and counts as a miss so the cell recomputes).
+    fn lookup(&self, inner: &mut Inner, fp: u64, key: &CellKey) -> Option<RunResult> {
+        self.load_shard(inner, fp);
+        let shard = inner.shards.get_mut(&fp)?;
+        if let Some(r) = shard.decoded.get(key) {
+            return Some(r.clone());
+        }
+        let (offset, len) = *shard.offsets.get(key)?;
+        let path = self.data_path(fp);
+        match read_record(&path, offset, len) {
+            Ok(entry)
+                if entry.workload == key.workload
+                    && entry.variant == key.variant
+                    && entry.seed == key.seed =>
+            {
+                let result = entry.result;
+                shard.decoded.insert(key.clone(), result.clone());
+                Some(result)
+            }
+            Ok(_) => {
+                // The index pointed at a record for a different cell
+                // (crash between data and index appends can misalign a
+                // rebuilt index). Drop the lie; the cell recomputes.
+                shard.offsets.remove(key);
+                inner.stats.corrupt_skipped += 1;
+                None
+            }
+            Err(_) => {
+                shard.offsets.remove(key);
+                inner.stats.corrupt_skipped += 1;
+                None
+            }
+        }
+    }
+
+    /// Ensures the shard for `fp` is loaded: reads the index sidecar,
+    /// falls back to (and repairs from) a full data-file scan when the
+    /// index is missing or behind the data file.
+    fn load_shard(&self, inner: &mut Inner, fp: u64) {
+        if inner.shards.contains_key(&fp) {
+            return;
+        }
+        let mut shard = Shard::default();
+        let data_path = self.data_path(fp);
+        let data_len = match fs::metadata(&data_path) {
+            Ok(m) => m.len(),
+            Err(_) => {
+                inner.shards.insert(fp, shard);
+                return;
+            }
+        };
+        // Header check: the first line must identify this store version
+        // and fingerprint. Anything else is a foreign or corrupt file —
+        // rotate it aside (never delete: mirror the journal's stale
+        // policy) and start empty.
+        match read_header_fp(&data_path) {
+            Some(h) if h == fp => {}
+            _ => {
+                let mut aside = data_path.as_os_str().to_os_string();
+                aside.push(".corrupt");
+                let _ = fs::rename(&data_path, PathBuf::from(aside));
+                let _ = fs::remove_file(self.index_path(fp));
+                inner.stats.corrupt_skipped += 1;
+                inner.shards.insert(fp, shard);
+                return;
+            }
+        }
+        shard.on_disk = true;
+        let mut covered = 0u64;
+        if let Ok(idx) = fs::read_to_string(self.index_path(fp)) {
+            for line in idx.lines() {
+                if let Some((key, offset, len)) = decode_index_line(line) {
+                    covered = covered.max(offset + u64::from(len));
+                    shard.offsets.insert(key, (offset, len));
+                }
+            }
+        }
+        if covered > data_len {
+            // The index claims more than the data file holds (truncated
+            // data, stale index): rebuild from scratch.
+            shard.offsets.clear();
+            covered = 0;
+        }
+        if data_len > covered {
+            // Data beyond index coverage (missing index, or a crash
+            // between the two appends): scan the tail and extend.
+            let (tail, base) = match scan_from(&data_path, covered) {
+                Ok(t) => t,
+                Err(_) => (Vec::new(), covered),
+            };
+            let _ = base;
+            let mut idx_lines = String::new();
+            for (key, offset, len, bad) in tail {
+                if bad {
+                    inner.stats.corrupt_skipped += 1;
+                    continue;
+                }
+                idx_lines.push_str(&encode_index_line(&key, offset, len));
+                idx_lines.push('\n');
+                shard.offsets.insert(key, (offset, len));
+            }
+            if !idx_lines.is_empty() {
+                let _ = append_bytes(&self.index_path(fp), idx_lines.as_bytes());
+            }
+        }
+        self.touch(inner, fp);
+        inner.shards.insert(fp, shard);
+    }
+
+    fn publish_locked(
+        &self,
+        inner: &mut Inner,
+        fp: u64,
+        key: &CellKey,
+        result: &RunResult,
+    ) -> Result<(), StoreError> {
+        self.load_shard(inner, fp);
+        fs::create_dir_all(&self.dir).map_err(|e| Self::err(&self.dir, "create dir", e))?;
+        let data_path = self.data_path(fp);
+        let shard = inner.shards.entry(fp).or_default();
+        if !shard.on_disk {
+            // Header via tempfile + atomic rename: no reader can observe
+            // a half-written header.
+            let tmp = data_path.with_extension("tmp");
+            fs::write(
+                &tmp,
+                format!("{{\"cmpsim_store\":{STORE_VERSION},\"fingerprint\":\"{fp:016x}\"}}\n"),
+            )
+            .map_err(|e| Self::err(&tmp, "write header", e))?;
+            fs::rename(&tmp, &data_path).map_err(|e| Self::err(&data_path, "rename header", e))?;
+            shard.on_disk = true;
+        }
+        let entry = JournalEntry {
+            workload: key.workload.clone(),
+            variant: key.variant,
+            seed: key.seed,
+            result: result.clone(),
+        };
+        let mut line = journal::encode_entry(&entry);
+        line.push('\n');
+        // Data first, index second: a crash in between leaves the record
+        // recoverable by the tail scan in `load_shard`.
+        let offset = append_bytes(&data_path, line.as_bytes())
+            .map_err(|e| Self::err(&data_path, "append", e))?;
+        let len = line.len() as u32;
+        let idx_path = self.index_path(fp);
+        let mut idx_line = encode_index_line(key, offset, len);
+        idx_line.push('\n');
+        append_bytes(&idx_path, idx_line.as_bytes())
+            .map_err(|e| Self::err(&idx_path, "append index", e))?;
+
+        let shard = inner.shards.entry(fp).or_default();
+        shard.offsets.insert(key.clone(), (offset, len));
+        shard.decoded.insert(key.clone(), result.clone());
+        inner.stats.published += 1;
+        self.touch(inner, fp);
+        self.evict_to_budget(inner, fp);
+        Ok(())
+    }
+
+    /// Bumps `fp` on the logical LRU clock, appending to `lru.jsonl`.
+    fn touch(&self, inner: &mut Inner, fp: u64) {
+        inner.touch_seq += 1;
+        let seq = inner.touch_seq;
+        inner.touched.insert(fp, seq);
+        let _ = append_bytes(
+            &self.lru_path(),
+            format!("{{\"fingerprint\":\"{fp:016x}\",\"touch\":{seq}}}\n").as_bytes(),
+        );
+    }
+
+    fn load_lru(&self, inner: &mut Inner) {
+        if let Ok(text) = fs::read_to_string(self.lru_path()) {
+            for line in text.lines() {
+                let Some(kvs) = crate::flatjson::parse_flat(line) else { continue };
+                let map: HashMap<_, _> = kvs.into_iter().collect();
+                let fp = map
+                    .get("fingerprint")
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok());
+                let seq = map.get("touch").and_then(|v| v.as_u64());
+                if let (Some(fp), Some(seq)) = (fp, seq) {
+                    inner.touch_seq = inner.touch_seq.max(seq);
+                    inner.touched.insert(fp, seq);
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-touched fingerprint files until the data
+    /// files fit the budget. The fingerprint just published to
+    /// (`keep_fp`) is never self-evicted mid-sweep.
+    fn evict_to_budget(&self, inner: &mut Inner, keep_fp: u64) {
+        let mut sizes: Vec<(u64, u64)> = Vec::new(); // (fp, bytes)
+        let mut total = 0u64;
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_suffix(".jsonl") else { continue };
+            let Ok(fp) = u64::from_str_radix(hex, 16) else { continue };
+            let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
+            total += bytes;
+            sizes.push((fp, bytes));
+        }
+        if total <= self.max_bytes {
+            return;
+        }
+        // Oldest logical touch first; untouched files (no lru record,
+        // e.g. orphans from a crashed process) count as oldest of all.
+        sizes.sort_by_key(|&(fp, _)| (inner.touched.get(&fp).copied().unwrap_or(0), fp));
+        for (fp, bytes) in sizes {
+            if total <= self.max_bytes {
+                break;
+            }
+            if fp == keep_fp {
+                continue;
+            }
+            let _ = fs::remove_file(self.data_path(fp));
+            let _ = fs::remove_file(self.index_path(fp));
+            inner.shards.remove(&fp);
+            inner.touched.remove(&fp);
+            inner.stats.evicted_files += 1;
+            inner.stats.evicted_bytes += bytes;
+            total = total.saturating_sub(bytes);
+        }
+        // Compact the LRU file to the surviving fingerprints.
+        let mut compact = String::new();
+        let mut survivors: Vec<_> = inner.touched.iter().collect();
+        survivors.sort_by_key(|&(_, seq)| *seq);
+        for (fp, seq) in survivors {
+            compact.push_str(&format!("{{\"fingerprint\":\"{fp:016x}\",\"touch\":{seq}}}\n"));
+        }
+        let tmp = self.lru_path().with_extension("tmp");
+        if fs::write(&tmp, compact).is_ok() {
+            let _ = fs::rename(&tmp, self.lru_path());
+        }
+    }
+}
+
+/// Appends `bytes` as one `write_all` to `path` (creating it if needed)
+/// and returns the offset the write started at.
+fn append_bytes(path: &Path, bytes: &[u8]) -> io::Result<u64> {
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let offset = f.seek(SeekFrom::End(0))?;
+    f.write_all(bytes)?;
+    Ok(offset)
+}
+
+/// Reads and CRC-verifies the sealed record at `offset..offset+len`.
+fn read_record(path: &Path, offset: u64, len: u32) -> Result<JournalEntry, String> {
+    let mut f = fs::File::open(path).map_err(|e| e.to_string())?;
+    f.seek(SeekFrom::Start(offset)).map_err(|e| e.to_string())?;
+    let mut buf = vec![0u8; len as usize];
+    f.read_exact(&mut buf).map_err(|e| e.to_string())?;
+    let line = std::str::from_utf8(&buf).map_err(|e| e.to_string())?;
+    match journal::decode_line(line.trim_end_matches('\n')) {
+        Ok(journal::Decoded::Entry(e)) => Ok(e),
+        Ok(journal::Decoded::Failure { .. }) => Err("failure record in store".to_string()),
+        Err(reason) => Err(reason),
+    }
+}
+
+/// Parses the header line of a data file into its fingerprint, checking
+/// the store version.
+fn read_header_fp(path: &Path) -> Option<u64> {
+    let mut f = fs::File::open(path).ok()?;
+    let mut buf = [0u8; 128];
+    let n = f.read(&mut buf).ok()?;
+    let text = std::str::from_utf8(&buf[..n]).ok()?;
+    let line = text.lines().next()?;
+    let kvs = crate::flatjson::parse_flat(line)?;
+    let map: HashMap<_, _> = kvs.into_iter().collect();
+    if map.get("cmpsim_store").and_then(|v| v.as_u64()) != Some(STORE_VERSION) {
+        return None;
+    }
+    map.get("fingerprint")
+        .and_then(|v| v.as_str())
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+fn encode_index_line(key: &CellKey, offset: u64, len: u32) -> String {
+    debug_assert!(!key.workload.contains(['"', '\\']), "workload names are plain identifiers");
+    format!(
+        "{{\"workload\":\"{}\",\"variant\":\"{}\",\"seed\":{},\"offset\":{offset},\"len\":{len}}}",
+        key.workload,
+        key.variant.label(),
+        key.seed
+    )
+}
+
+fn decode_index_line(line: &str) -> Option<(CellKey, u64, u32)> {
+    let kvs = crate::flatjson::parse_flat(line)?;
+    let map: HashMap<_, _> = kvs.into_iter().collect();
+    let workload = map.get("workload")?.as_str()?.to_string();
+    let label = map.get("variant")?.as_str()?;
+    let variant = *Variant::all().iter().find(|v| v.label() == label)?;
+    let seed = map.get("seed")?.as_u64()?;
+    let offset = map.get("offset")?.as_u64()?;
+    let len = u32::try_from(map.get("len")?.as_u64()?).ok()?;
+    Some((CellKey { workload, variant, seed }, offset, len))
+}
+
+/// Reads data-file lines starting at byte `from`, returning
+/// `(key, offset, len, crc_failed)` per line (the header line, when
+/// included, is skipped) plus the file length scanned to.
+#[allow(clippy::type_complexity)]
+fn scan_from(path: &Path, from: u64) -> io::Result<(Vec<(CellKey, u64, u32, bool)>, u64)> {
+    let text = fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    let mut offset = 0u64;
+    for line in text.split_inclusive('\n') {
+        let len = line.len() as u64;
+        let start = offset;
+        offset += len;
+        if start < from || !line.ends_with('\n') {
+            continue; // already indexed, or a torn tail (recomputes)
+        }
+        let trimmed = line.trim_end_matches('\n');
+        if trimmed.contains("\"cmpsim_store\"") {
+            continue; // header
+        }
+        match journal::decode_line(trimmed) {
+            Ok(journal::Decoded::Entry(e)) => out.push((
+                CellKey { workload: e.workload, variant: e.variant, seed: e.seed },
+                start,
+                len as u32,
+                false,
+            )),
+            _ => out.push((
+                CellKey::new("?", Variant::Base, u64::MAX),
+                start,
+                len as u32,
+                true,
+            )),
+        }
+    }
+    Ok((out, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SimStats;
+
+    fn result(cycles: u64) -> RunResult {
+        RunResult {
+            stats: SimStats::default(),
+            cycles,
+            clock_ghz: 5,
+            events: cycles * 2,
+            retired: cycles * 3,
+            host_nanos: 1,
+        }
+    }
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmpsim-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_then_get_roundtrips_across_handles() {
+        let dir = temp_store("roundtrip");
+        let key = CellKey::new("apsi", Variant::Prefetch, 11);
+        let r = result(1234);
+        {
+            let store = ResultStore::with_capacity(&dir, u64::MAX);
+            assert_eq!(store.get(0xf00, &key), None);
+            store.publish(0xf00, &key, &r).unwrap();
+            assert_eq!(store.get(0xf00, &key), Some(r.clone()));
+            let s = store.stats();
+            assert_eq!((s.hits, s.misses, s.published), (1, 0, 1), "probe misses are not tallied");
+        }
+        // A fresh handle (fresh process, conceptually) reads it back from
+        // disk through the index sidecar.
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        assert_eq!(store.get(0xf00, &key), Some(r));
+        assert_eq!(store.get(0xf00, &CellKey::new("apsi", Variant::Base, 11)), None);
+        assert_eq!(store.get(0xbad, &key), None, "fingerprints are separate shards");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_from_data_scan() {
+        let dir = temp_store("reindex");
+        let key = CellKey::new("mgrid", Variant::BothCompression, 7);
+        let r = result(99);
+        {
+            let store = ResultStore::with_capacity(&dir, u64::MAX);
+            store.publish(0x1, &key, &r).unwrap();
+        }
+        let idx = dir.join("0000000000000001.idx");
+        fs::remove_file(&idx).unwrap();
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        assert_eq!(store.get(0x1, &key), Some(r), "scan fallback finds the record");
+        assert!(idx.exists(), "index is rewritten by the scan");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_recomputable() {
+        let dir = temp_store("corrupt");
+        let key = CellKey::new("apsi", Variant::Base, 1);
+        {
+            let store = ResultStore::with_capacity(&dir, u64::MAX);
+            store.publish(0x2, &key, &result(50)).unwrap();
+        }
+        // Flip one digit inside the record body.
+        let data = dir.join("0000000000000002.jsonl");
+        let text = fs::read_to_string(&data).unwrap();
+        fs::write(&data, text.replacen("\"cycles\":50", "\"cycles\":51", 1)).unwrap();
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        assert_eq!(store.get(0x2, &key), None, "corrupt record must not be served");
+        assert!(store.stats().corrupt_skipped >= 1);
+        // Republish heals it (last-wins).
+        store.publish(0x2, &key, &result(50)).unwrap();
+        assert_eq!(store.get(0x2, &key), Some(result(50)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_record_is_ignored() {
+        let dir = temp_store("torn");
+        let key = CellKey::new("apsi", Variant::Base, 1);
+        let keep = CellKey::new("mgrid", Variant::Base, 1);
+        {
+            let store = ResultStore::with_capacity(&dir, u64::MAX);
+            store.publish(0x3, &keep, &result(1)).unwrap();
+            store.publish(0x3, &key, &result(2)).unwrap();
+        }
+        // Tear the last record mid-line and drop the index entirely, as a
+        // kill between the two appends would.
+        let data = dir.join("0000000000000003.jsonl");
+        let text = fs::read_to_string(&data).unwrap();
+        fs::write(&data, &text[..text.len() - 20]).unwrap();
+        fs::remove_file(dir.join("0000000000000003.idx")).unwrap();
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        assert_eq!(store.get(0x3, &keep), Some(result(1)), "intact record survives");
+        assert_eq!(store.get(0x3, &key), None, "torn record recomputes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_dedups_inflight_and_blocks_waiters() {
+        let dir = temp_store("lease");
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        let key = CellKey::new("apsi", Variant::Base, 1);
+        let Lease::Compute(lease) = store.lease(0x4, &key) else {
+            panic!("first lease must be a compute claim")
+        };
+        // A concurrent asker blocks until we publish, then gets a hit.
+        let waiter = {
+            let store = Arc::clone(&store);
+            let key = key.clone();
+            std::thread::spawn(move || match store.lease(0x4, &key) {
+                Lease::Hit(r) => r,
+                Lease::Compute(_) => panic!("waiter must be served the published result"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        lease.publish(&result(7)).unwrap();
+        assert_eq!(waiter.join().unwrap(), result(7));
+        assert_eq!(store.stats().published, 1, "cell computed exactly once");
+        assert!(store.stats().shared_waits >= 1);
+
+        // An abandoned claim hands the compute to the next asker.
+        let key2 = CellKey::new("mgrid", Variant::Base, 1);
+        let Lease::Compute(lease) = store.lease(0x4, &key2) else { panic!() };
+        drop(lease);
+        assert!(matches!(store.lease(0x4, &key2), Lease::Compute(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_store_size() {
+        let dir = temp_store("lru");
+        // Budget below two data files, far above one.
+        let one_file = {
+            let probe = temp_store("lru-probe");
+            let store = ResultStore::with_capacity(&probe, u64::MAX);
+            store.publish(0xa, &CellKey::new("apsi", Variant::Base, 1), &result(1)).unwrap();
+            let n = fs::metadata(probe.join(format!("{:016x}.jsonl", 0xa))).unwrap().len();
+            let _ = fs::remove_dir_all(&probe);
+            n
+        };
+        let store = ResultStore::with_capacity(&dir, one_file * 2 - 1);
+        for fp in [0xa, 0xb, 0xc] {
+            store.publish(fp, &CellKey::new("apsi", Variant::Base, 1), &result(fp)).unwrap();
+        }
+        // Each publish keeps the active file and evicts the older one.
+        assert!(!dir.join(format!("{:016x}.jsonl", 0xa)).exists(), "oldest evicted");
+        assert!(!dir.join(format!("{:016x}.jsonl", 0xb)).exists());
+        assert!(dir.join(format!("{:016x}.jsonl", 0xc)).exists(), "most recent kept");
+        assert_eq!(store.stats().evicted_files, 2);
+        let total: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".jsonl"))
+            .filter(|e| e.file_name().to_string_lossy() != "lru.jsonl")
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= one_file * 2 - 1, "size bound respected: {total}");
+        // Evicted cells are misses (recompute), kept cells are hits.
+        assert_eq!(store.get(0xa, &CellKey::new("apsi", Variant::Base, 1)), None);
+        assert_eq!(
+            store.get(0xc, &CellKey::new("apsi", Variant::Base, 1)),
+            Some(result(0xc))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_data_file_is_rotated_aside_not_served() {
+        let dir = temp_store("foreign");
+        fs::create_dir_all(&dir).unwrap();
+        let data = dir.join(format!("{:016x}.jsonl", 0x9));
+        fs::write(&data, "{\"cmpsim_store\":999,\"fingerprint\":\"0000000000000009\"}\n").unwrap();
+        let store = ResultStore::with_capacity(&dir, u64::MAX);
+        assert_eq!(store.get(0x9, &CellKey::new("apsi", Variant::Base, 1)), None);
+        assert!(!data.exists());
+        assert!(dir.join(format!("{:016x}.jsonl.corrupt", 0x9)).exists(), "preserved, not deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

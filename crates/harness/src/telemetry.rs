@@ -256,6 +256,9 @@ pub enum CellState {
     Done = 3,
     /// Finished with a failure (panic, timeout, sim error).
     Failed = 4,
+    /// Satisfied from the result store without running (bit-identical
+    /// reuse, counted as done).
+    Cached = 5,
 }
 
 impl CellState {
@@ -265,6 +268,7 @@ impl CellState {
             2 => CellState::Retrying,
             3 => CellState::Done,
             4 => CellState::Failed,
+            5 => CellState::Cached,
             _ => CellState::Queued,
         }
     }
@@ -353,6 +357,21 @@ impl GridProgress {
         self.done.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Marks cell `i` as served from the result store (a cache hit —
+    /// distinguishable from computed cells in the status line).
+    pub fn cell_cached(&self, i: usize) {
+        self.states[i].store(CellState::Cached as u8, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cells currently marked store-cached.
+    pub fn cached(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) == CellState::Cached as u8)
+            .count()
+    }
+
     /// Snapshot of one cell's state.
     pub fn state(&self, i: usize) -> CellState {
         CellState::from_u8(self.states[i].load(Ordering::Relaxed))
@@ -371,11 +390,12 @@ impl GridProgress {
     /// Renders the one-line status: counts per state, per-worker engine
     /// throughput over completed cells, and a wall-clock ETA.
     pub fn status_line(&self) -> String {
-        let (mut running, mut retrying) = (0usize, 0usize);
+        let (mut running, mut retrying, mut cached) = (0usize, 0usize, 0usize);
         for s in &self.states {
             match CellState::from_u8(s.load(Ordering::Relaxed)) {
                 CellState::Running => running += 1,
                 CellState::Retrying => retrying += 1,
+                CellState::Cached => cached += 1,
                 _ => {}
             }
         }
@@ -383,6 +403,9 @@ impl GridProgress {
         let failed = self.failed.load(Ordering::Relaxed);
         let total = self.states.len();
         let mut line = format!("grid {}/{} done", done + failed, total);
+        if cached > 0 {
+            line.push_str(&format!(" ({cached} from store)"));
+        }
         if failed > 0 {
             line.push_str(&format!(", {failed} failed"));
         }

@@ -132,25 +132,55 @@ impl ChannelStats {
 pub struct Channel {
     bandwidth: LinkBandwidth,
     clock_ghz: u32,
-    /// Lane occupancy: `[upstream, downstream]`.
-    next_free: [u64; 2],
+    /// Per-lane occupancy. With width 1 both directions share lane 0;
+    /// otherwise direction `d` owns lanes `d, d + 2, d + 4, …` (so the
+    /// default width 2 is exactly `[upstream, downstream]`).
+    next_free: Vec<u64>,
     stats: ChannelStats,
 }
 
 impl Channel {
-    /// Creates a link with the given bandwidth on a `clock_ghz` GHz chip.
+    /// Creates a link with the given bandwidth on a `clock_ghz` GHz chip,
+    /// with the default full-duplex width of 2 lanes (one per direction).
     ///
     /// # Panics
     ///
     /// Panics if `clock_ghz` is zero.
     pub fn new(bandwidth: LinkBandwidth, clock_ghz: u32) -> Self {
+        Self::with_width(bandwidth, clock_ghz, 2)
+    }
+
+    /// Creates a link with `width` sub-links, each with the configured
+    /// bandwidth. Width 1 is a half-duplex link both directions contend
+    /// for; width 2 is the paper's full-duplex pin interface; wider links
+    /// give each direction `width / 2` (rounded toward upstream) parallel
+    /// lanes, a message picking the earliest-free lane of its direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ghz` or `width` is zero.
+    pub fn with_width(bandwidth: LinkBandwidth, clock_ghz: u32, width: usize) -> Self {
         assert!(clock_ghz > 0, "clock must be positive");
-        Channel { bandwidth, clock_ghz, next_free: [0; 2], stats: ChannelStats::default() }
+        assert!(width > 0, "link needs at least one lane");
+        Channel { bandwidth, clock_ghz, next_free: vec![0; width], stats: ChannelStats::default() }
     }
 
     /// The configured bandwidth.
     pub fn bandwidth(&self) -> LinkBandwidth {
         self.bandwidth
+    }
+
+    /// The configured number of sub-links.
+    pub fn width(&self) -> usize {
+        self.next_free.len()
+    }
+
+    /// The lanes direction `d` (0 = upstream, 1 = downstream) schedules
+    /// on: lane 0 only at width 1, else `d, d + 2, d + 4, …`.
+    fn lanes_for(&self, direction: usize) -> impl Iterator<Item = usize> + '_ {
+        let width = self.next_free.len();
+        let (start, step) = if width == 1 { (0, 1) } else { (direction, 2) };
+        (start..width).step_by(step)
     }
 
     /// Serialization time of `bytes` on this link, ignoring queueing.
@@ -168,10 +198,17 @@ impl Channel {
     /// Schedules `msg` at time `now` on its direction lane, returning the
     /// occupancy window.
     pub fn send(&mut self, now: u64, msg: &Message) -> Transfer {
-        let lane = match msg.kind {
+        let direction = match msg.kind {
             crate::MessageKind::DataResponse => 1,
             crate::MessageKind::ReadRequest | crate::MessageKind::Writeback => 0,
         };
+        // Earliest-free lane of the direction (lowest index on ties, so
+        // the default width 2 degenerates to the fixed per-direction
+        // lane it has always been).
+        let lane = self
+            .lanes_for(direction)
+            .min_by_key(|&l| (self.next_free[l], l))
+            .expect("width >= 1 guarantees a lane");
         let bytes = msg.size_bytes();
         let duration = self.duration_cycles(bytes);
         let start = now.max(self.next_free[lane]);
@@ -235,15 +272,19 @@ impl Channel {
         &self.stats
     }
 
-    /// Remaining busy cycles of each lane (`[upstream, downstream]`) as
+    /// Remaining busy cycles per direction (`[upstream, downstream]`) as
     /// seen from cycle `now` — the queue depth, in time units, behind
-    /// which a new message would wait. Diagnostic input for the
-    /// simulator's livelock dump.
+    /// which a new message would wait (the earliest-free lane of the
+    /// direction, since that is where it would schedule). Diagnostic
+    /// input for the simulator's livelock dump.
     pub fn lane_backlog(&self, now: u64) -> [u64; 2] {
-        [
-            self.next_free[0].saturating_sub(now),
-            self.next_free[1].saturating_sub(now),
-        ]
+        let backlog = |d: usize| {
+            self.lanes_for(d)
+                .map(|l| self.next_free[l].saturating_sub(now))
+                .min()
+                .unwrap_or(0)
+        };
+        [backlog(0), backlog(1)]
     }
 
     /// Clears counters (end of warmup) without resetting link occupancy.
@@ -260,15 +301,18 @@ impl Channel {
         self.stats.total_bytes as f64 / elapsed_cycles as f64 * f64::from(self.clock_ghz)
     }
 
-    /// Fraction of the link's aggregate capacity (both lanes) spent busy
-    /// over `elapsed_cycles`, as a percentage in `[0, 100]`. Queueing can
-    /// push accumulated busy cycles past the elapsed window on one lane,
-    /// so the value is clamped. Telemetry input; 0 for an empty window.
+    /// Fraction of the link's aggregate capacity (all configured lanes)
+    /// spent busy over `elapsed_cycles`, as a percentage in `[0, 100]`.
+    /// Capacity is `width × elapsed`, not a hardcoded 2 — a half-duplex
+    /// width-1 link saturates at half the busy cycles a full-duplex one
+    /// does. Queueing can push accumulated busy cycles past the elapsed
+    /// window on one lane, so the value is clamped. Telemetry input; 0
+    /// for an empty window.
     pub fn utilization_pct(&self, elapsed_cycles: u64) -> f64 {
         if elapsed_cycles == 0 {
             return 0.0;
         }
-        let capacity = 2.0 * elapsed_cycles as f64;
+        let capacity = self.next_free.len() as f64 * elapsed_cycles as f64;
         (self.stats.busy_cycles as f64 / capacity * 100.0).clamp(0.0, 100.0)
     }
 }
@@ -402,6 +446,61 @@ mod tests {
         assert!((link.utilization_pct(18) - 50.0).abs() < 1e-9, "one of two lanes busy");
         link.send(0, &Message::data_response(BlockAddr(1), 8, false)); // queued: 36 total
         assert_eq!(link.utilization_pct(10), 100.0, "clamped when busy exceeds window");
+    }
+
+    #[test]
+    fn utilization_capacity_follows_width() {
+        // One 18-busy-cycle response over an 18-cycle window: capacity is
+        // width × elapsed, so the same traffic reads 100% / 50% / 25% at
+        // widths 1 / 2 / 4. (The pre-fix code hardcoded the divisor at 2
+        // and would report 50% regardless of width.)
+        for (width, expected) in [(1usize, 100.0), (2, 50.0), (4, 25.0)] {
+            let mut link = Channel::with_width(LinkBandwidth::GBps(20), 5, width);
+            link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+            assert_eq!(link.stats().busy_cycles, 18);
+            assert!(
+                (link.utilization_pct(18) - expected).abs() < 1e-9,
+                "width {width}: got {} want {expected}",
+                link.utilization_pct(18)
+            );
+        }
+    }
+
+    #[test]
+    fn width_one_is_half_duplex() {
+        let mut link = Channel::with_width(LinkBandwidth::GBps(20), 5, 1);
+        let down = link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let up = link.send(0, &Message::read_request(BlockAddr(1), false));
+        assert_eq!(down.done, 18);
+        assert_eq!(up.start, 18, "requests contend with responses on the single lane");
+        assert_eq!(link.lane_backlog(0), [20, 20], "one shared lane, one shared backlog");
+    }
+
+    #[test]
+    fn width_four_gives_each_direction_two_lanes() {
+        let mut link = Channel::with_width(LinkBandwidth::GBps(20), 5, 4);
+        let a = link.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let b = link.send(0, &Message::data_response(BlockAddr(1), 8, false));
+        let c = link.send(0, &Message::data_response(BlockAddr(2), 8, false));
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 0, "second response rides the second downstream lane");
+        assert_eq!(c.start, 18, "third queues behind the earliest-free lane");
+        assert_eq!(link.lane_backlog(0), [0, 18], "upstream untouched; earliest busy lane wins");
+        let up = link.send(0, &Message::writeback(BlockAddr(3), 8));
+        assert_eq!(up.start, 0, "upstream lanes are independent of downstream");
+    }
+
+    #[test]
+    fn default_width_two_matches_historic_lane_assignment() {
+        // Channel::new must stay bit-identical to the fixed
+        // [upstream, downstream] lanes (the grid-digest golden gate
+        // depends on it).
+        let mut fixed = Channel::new(LinkBandwidth::GBps(20), 5);
+        assert_eq!(fixed.width(), 2);
+        let a = fixed.send(0, &Message::data_response(BlockAddr(0), 8, false));
+        let b = fixed.send(0, &Message::read_request(BlockAddr(1), false));
+        let c = fixed.send(0, &Message::data_response(BlockAddr(2), 8, false));
+        assert_eq!((a.start, b.start, c.start), (0, 0, 18));
     }
 
     #[test]

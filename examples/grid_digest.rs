@@ -25,9 +25,7 @@
 //!   cargo run --release --example grid_digest           # compare
 //!   CMPSIM_WRITE_GOLDEN=1 cargo run ... grid_digest     # (re)record
 
-use cmpsim::{
-    all_workloads, run_grid_serial, CodecKind, GridCell, SimLength, SystemConfig, Variant,
-};
+use cmpsim::{all_workloads, report, run_grid_serial, CodecKind, SimLength, SystemConfig, Variant};
 use std::time::Instant;
 
 const VARIANTS: [Variant; 4] = [
@@ -42,75 +40,12 @@ const CODEC_VARIANTS: [Variant; 2] = [Variant::BothCompression, Variant::Prefetc
 
 const GOLDEN_PATH: &str = "tests/golden/grid_digest.txt";
 
-fn fnv1a(h: &mut u64, v: u64) {
-    for b in v.to_le_bytes() {
-        *h ^= u64::from(b);
-        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
-
-/// Digests the seed-era fields of one cell (see module docs for why new
-/// fields are deliberately excluded).
-fn digest_cell(h: &mut u64, cell: &GridCell) {
-    for b in cell.workload.bytes() {
-        fnv1a(h, u64::from(b));
-    }
-    for b in cell.variant.label().bytes() {
-        fnv1a(h, u64::from(b));
-    }
-    fnv1a(h, cell.seed);
-    let r = &cell.result;
-    fnv1a(h, r.cycles);
-    fnv1a(h, u64::from(r.clock_ghz));
-    let s = &r.stats;
-    fnv1a(h, s.instructions);
-    for l in [&s.l1i, &s.l1d, &s.l2] {
-        for v in [
-            l.accesses,
-            l.hits,
-            l.demand_misses,
-            l.prefetch_hits,
-            l.prefetches_issued,
-            l.prefetch_fills,
-            l.useless_prefetch_evictions,
-        ] {
-            fnv1a(h, v);
-        }
-    }
-    for v in [
-        s.l2_compressed_hits,
-        s.l2_hit_latency_sum,
-        s.l2_hit_latency_count,
-        s.l2_victim_tag_hits,
-        s.harmful_prefetch_detections,
-        s.capacity_ratio_sum.to_bits(),
-        s.capacity_ratio_samples,
-        s.link.total_bytes,
-        s.link.data_bytes,
-        s.link.prefetch_bytes,
-        s.link.messages,
-        s.link.queue_delay_cycles,
-        s.link.busy_cycles,
-        s.mem_reads,
-        s.mem_writes,
-        s.coherence.invalidations,
-        s.coherence.recalls,
-        s.coherence.upgrades,
-        s.coherence.inclusion_recalls,
-        s.dropped_prefetches,
-    ] {
-        fnv1a(h, v);
-    }
-}
-
 fn digest_grid(base: &SystemConfig, variants: &[Variant], len: SimLength) -> (String, usize) {
     let specs = all_workloads();
     let cells = run_grid_serial(&specs, base, variants, len).expect("smoke grid simulates");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for cell in &cells {
-        digest_cell(&mut h, cell);
-    }
-    (format!("{h:016x}"), cells.len())
+    // The digest itself lives in `report::grid_digest` so the store gate
+    // (examples/store_gate.rs) folds the exact same fields.
+    (report::grid_digest(&cells), cells.len())
 }
 
 /// Compares (or records, under `CMPSIM_WRITE_GOLDEN=1`) one digest

@@ -101,6 +101,40 @@ test -s target/bench/codec_throughput.json || {
 cargo run -q --release --offline --example codec_gate
 cp target/bench/codec_throughput.json BENCH_codec_throughput.json
 
+echo "== result-store gate (cold -> warm: 0 recomputes, digest unchanged) =="
+# The smoke grid runs twice against one store: the cold pass computes and
+# publishes every cell, the warm pass must compute 0 cells with a >=95%
+# hit rate (it achieves 100%), zero CRC/framing errors, and both passes
+# must produce the exact grid_digest golden — the store changes *when*
+# results are computed, never *what* they are.
+store_dir=$(mktemp -d)
+CMPSIM_STORE="$store_dir" cargo run -q --release --offline --example store_gate
+
+echo "== store warm-rerun speedup (JSON artifact) =="
+# Cold-vs-warm wall-clock for the same grid, recorded to
+# target/bench/store_warm.json (speedup, hit rate, recomputed cells).
+cargo bench -q --offline -p cmpsim-bench --bench store_warm
+test -s target/bench/store_warm.json || {
+    echo "store warm-rerun bench artifact missing" >&2
+    exit 1
+}
+
+echo "== serve daemon smoke (two sweeps on stdin share the store) =="
+# Two identical sweep requests through the daemon: the first computes,
+# the second must be served entirely from the store (0 misses) with a
+# 100% hit rate and no corrupt records.
+serve_out=$(printf '%s\n' \
+    '{"sweep":"ci-cold","workloads":"apsi,mgrid","variants":"base,pf","cores":2,"warmup":2000,"measure":8000,"threads":2}' \
+    '{"sweep":"ci-warm","workloads":"apsi,mgrid","variants":"base,pf","cores":2,"warmup":2000,"measure":8000,"threads":2}' \
+    | CMPSIM_STORE="$store_dir" cargo run -q --release --offline -p cmpsim-bench --bin serve)
+echo "$serve_out" | grep '"sweep":"ci-warm","done":1' \
+        | grep '"store_misses":0' | grep -q '"corrupt_skipped":0' || {
+    echo "serve daemon warm sweep was not served from the store:" >&2
+    echo "$serve_out" >&2
+    exit 1
+}
+rm -rf "$store_dir"
+
 echo "== hermeticity gate: no registry dependencies =="
 # A registry dependency in a manifest is one whose spec carries a
 # `version` requirement (string or inline-table form) instead of being a

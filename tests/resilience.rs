@@ -55,7 +55,7 @@ fn healthy_resilient_sweep_matches_serial_bit_for_bit() {
     let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
     let base = small_base();
     let serial = run_grid_serial(&specs, &base, &VARIANTS, short()).unwrap();
-    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None, store: None };
     let resilient = run_grid_resilient(&specs, &base, &VARIANTS, short(), &opts);
     let cells: Vec<_> = resilient
         .into_iter()
@@ -71,7 +71,7 @@ fn panicking_cell_degrades_only_itself() {
     let specs = vec![workload("zeus").unwrap(), workload("apsi").unwrap()];
     let base = small_base();
     let len = short();
-    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None, store: None };
     let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
         if s.name == "apsi" && v == Variant::Base {
             panic!("injected fault in apsi/base");
@@ -112,6 +112,7 @@ fn hanging_cell_times_out_while_others_complete() {
             ..quick_supervisor()
         },
         journal: None,
+        store: None,
     };
     let t0 = std::time::Instant::now();
     let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
@@ -142,7 +143,7 @@ fn sim_error_cell_is_reported_in_place() {
     let specs = vec![workload("zeus").unwrap()];
     let base = small_base();
     let len = short();
-    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None };
+    let opts = ResilienceOptions { supervisor: quick_supervisor(), journal: None, store: None };
     let out = run_cells_resilient(&specs, &base, &VARIANTS, 0, &opts, move |s, b, v| {
         if v == Variant::Base {
             return Err(SimError::InvariantViolation {
@@ -181,6 +182,7 @@ fn transient_panic_recovers_under_retry() {
     let opts = ResilienceOptions {
         supervisor: Supervisor { retries: 3, ..quick_supervisor() },
         journal: None,
+        store: None,
     };
     let out = run_cells_resilient(&specs, &base, &variants, 0, &opts, move |s, b, v| {
         if counter.fetch_add(1, Ordering::SeqCst) < 2 {
@@ -212,6 +214,7 @@ fn killed_sweep_resumes_from_journal_bit_identically() {
     let opts = ResilienceOptions {
         supervisor: quick_supervisor(),
         journal: Some(path.clone()),
+        store: None,
     };
 
     let calls = Arc::new(AtomicUsize::new(0));
@@ -286,6 +289,7 @@ fn journal_truncated_at_every_byte_offset_recovers_all_intact_cells() {
     let opts = ResilienceOptions {
         supervisor: quick_supervisor(),
         journal: Some(path.clone()),
+        store: None,
     };
     let full = run_cells_resilient(&specs, &base, &VARIANTS, fp, &opts, move |s, b, v| {
         run_variant(s, b, v, len)
@@ -360,6 +364,7 @@ fn repeatedly_failing_cell_is_quarantined_on_resume() {
     let opts = ResilienceOptions {
         supervisor: quick_supervisor(),
         journal: Some(path.clone()),
+        store: None,
     };
     let calls = Arc::new(AtomicUsize::new(0));
     let failing = |calls: Arc<AtomicUsize>| {
@@ -444,6 +449,7 @@ fn changed_fingerprint_invalidates_the_journal() {
     let opts = ResilienceOptions {
         supervisor: quick_supervisor(),
         journal: Some(path.clone()),
+        store: None,
     };
     let calls = Arc::new(AtomicUsize::new(0));
     for fp in [1u64, 2u64] {
