@@ -1,0 +1,161 @@
+//! End-to-end tests of the serve daemon's observability surface: the
+//! `{"metrics":1}` query answers a valid flat-JSON registry snapshot,
+//! and the sealed access log survives a `SIGKILL`ed daemon — the
+//! kill-and-reread regression for the tempfile+rename + sealed-append
+//! discipline.
+
+use cmpsim_core::flatjson::parse_flat;
+use cmpsim_core::seallog;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spawn_serve(store: &PathBuf, access_log: Option<&PathBuf>) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+    cmd.env("CMPSIM_STORE", store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(log) = access_log {
+        cmd.arg("--access-log").arg(log);
+    }
+    cmd.spawn().expect("spawn serve daemon")
+}
+
+const SWEEP: &str = "{\"sweep\":\"t\",\"workloads\":\"apsi\",\"variants\":\"base\",\
+                     \"cores\":2,\"warmup\":1000,\"measure\":4000,\"threads\":2}";
+
+#[test]
+fn metrics_query_answers_a_valid_snapshot() {
+    let dir = temp_dir("metrics-query");
+    let store = dir.join("store");
+    let mut child = spawn_serve(&store, None);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    writeln!(stdin, "{SWEEP}").expect("send sweep");
+    writeln!(stdin, "{{\"metrics\":1}}").expect("send metrics query");
+    drop(stdin);
+
+    let mut metrics_line = None;
+    for line in stdout.lines() {
+        let line = line.expect("read response");
+        if line.starts_with("{\"metrics\":1") {
+            metrics_line = Some(line);
+        }
+    }
+    assert!(child.wait().expect("daemon exits").success());
+
+    let line = metrics_line.expect("daemon answered the metrics query");
+    let kvs = parse_flat(&line).expect("snapshot is valid flat JSON");
+    let get = |k: &str| {
+        kvs.iter()
+            .find(|(name, _)| name == k)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or_else(|| panic!("snapshot missing {k}: {line}"))
+    };
+    // Coverage across all three instrumented layers, with the sweep's
+    // work visible in each.
+    assert_eq!(get("serve_requests"), 2);
+    assert_eq!(get("serve_sweeps"), 1);
+    assert_eq!(get("serve_cells"), 1);
+    assert_eq!(get("grid_cells_computed") + get("grid_cells_cached"), 1);
+    assert_eq!(get("store_published"), 1);
+    assert!(get("store_resident_bytes") > 0);
+    assert_eq!(get("serve_request_nanos_count"), 1, "sweep latency was recorded");
+    assert!(get("serve_request_nanos_p99") >= get("serve_request_nanos_p50"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prometheus_format_exports_text_exposition() {
+    let dir = temp_dir("prom");
+    let store = dir.join("store");
+    let mut child = spawn_serve(&store, None);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    writeln!(stdin, "{SWEEP}").expect("send sweep");
+    writeln!(stdin, "{{\"metrics\":1,\"format\":\"prometheus\"}}").expect("send prom query");
+    drop(stdin);
+
+    let text: Vec<String> = stdout.lines().map(|l| l.expect("read")).collect();
+    assert!(child.wait().expect("daemon exits").success());
+    assert!(text.iter().any(|l| l.starts_with("# TYPE cmpsim_store_hits counter")));
+    assert!(text.iter().any(|l| l.starts_with("cmpsim_serve_sweeps 1")));
+    assert!(text.iter().any(|l| l.contains("cmpsim_serve_request_nanos_bucket{le=")));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL the daemon while it is serving and re-read the access log:
+/// the sealed-append discipline must leave a cleanly recoverable prefix
+/// (a torn tail is allowed; a parse error or half-record is not), and a
+/// restarted daemon must append to the same log without rotation.
+#[test]
+fn killed_daemon_leaves_a_recoverable_access_log() {
+    let dir = temp_dir("kill");
+    let store = dir.join("store");
+    let log = dir.join("access.jsonl");
+
+    let mut child = spawn_serve(&store, Some(&log));
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    // One completed request so the log has at least one sealed record...
+    writeln!(stdin, "{SWEEP}").expect("send sweep");
+    let mut line = String::new();
+    while stdout.read_line(&mut line).expect("read") > 0 {
+        if line.contains("\"done\":1") {
+            break;
+        }
+        line.clear();
+    }
+    // The done line flushes before the daemon appends the access-log
+    // record; wait until that append lands so the kill below tests
+    // recovery, not scheduling.
+    for _ in 0..200 {
+        if seallog::read(&log).map(|c| !c.records.is_empty()).unwrap_or(false) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // ...then a second in flight when the SIGKILL lands.
+    writeln!(stdin, "{SWEEP}").expect("send second sweep");
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    let got = seallog::read(&log).expect("killed daemon must leave a readable log");
+    assert_eq!(got.skipped, 0, "no half-written record may parse as corrupt");
+    assert!(!got.records.is_empty(), "the completed request was logged");
+    for rec in &got.records {
+        let field = |k: &str| rec.iter().find(|(name, _)| name == k).map(|(_, v)| v.clone());
+        assert_eq!(field("conn").and_then(|v| v.as_u64()), Some(1));
+        assert!(field("req").and_then(|v| v.as_u64()).is_some());
+        assert!(field("kind").is_some());
+        assert!(field("elapsed_us").and_then(|v| v.as_u64()).is_some());
+    }
+    let records_before = got.records.len();
+
+    // A restarted daemon appends to the same (valid) log — no .stale
+    // rotation, prior records intact.
+    let mut child = spawn_serve(&store, Some(&log));
+    let mut stdin = child.stdin.take().expect("stdin");
+    writeln!(stdin, "{{\"metrics\":1}}").expect("send metrics query");
+    drop(stdin);
+    let _ = child.wait();
+
+    let again = seallog::read(&log).expect("log still reads after restart");
+    assert!(again.records.len() > records_before, "restart appended to the same log");
+    assert!(!log.with_extension("jsonl.stale").exists() && !dir.join("access.jsonl.stale").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,12 +10,49 @@ use crate::metrics;
 use crate::stats::RunResult;
 use crate::store::{CellKey, Lease, ResultStore};
 use crate::system::System;
+use cmpsim_harness::metrics as svc_metrics;
+use cmpsim_harness::metrics::{Counter, Gauge, Histogram};
 use cmpsim_harness::telemetry::{progress_enabled, CellState, GridProgress, Heartbeat};
 use cmpsim_harness::{run_supervised, JobOutcome, Supervisor};
 use cmpsim_trace::WorkloadSpec;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Service-metric handles for the grid drivers, registered in the global
+/// [`svc_metrics`] registry under `grid_*` names. `None` when
+/// `CMPSIM_METRICS=0`. Observe-only, like [`GridProgress`]: recording
+/// feeds nothing back into scheduling or results.
+struct GridMetrics {
+    computed: Counter,
+    cached: Counter,
+    failed: Counter,
+    skipped: Counter,
+    retries: Counter,
+    quarantined: Counter,
+    compute_nanos: Histogram,
+    queue_depth: Gauge,
+}
+
+impl GridMetrics {
+    fn arm() -> Option<Arc<GridMetrics>> {
+        if !svc_metrics::enabled() {
+            return None;
+        }
+        let r = svc_metrics::global();
+        Some(Arc::new(GridMetrics {
+            computed: r.counter("grid_cells_computed"),
+            cached: r.counter("grid_cells_cached"),
+            failed: r.counter("grid_cells_failed"),
+            skipped: r.counter("grid_cells_skipped"),
+            retries: r.counter("grid_retries"),
+            quarantined: r.counter("grid_cells_quarantined"),
+            compute_nanos: r.histogram("grid_cell_compute_nanos"),
+            queue_depth: r.gauge("grid_queue_depth"),
+        }))
+    }
+}
 
 /// Simulation length preset: instructions per core for warmup and
 /// measurement.
@@ -242,6 +279,7 @@ fn run_grid_parallel_impl(
     // into the results (the determinism contract above is untouched).
     let progress = Arc::new(GridProgress::new(total, threads.max(1).min(total.max(1))));
     let heartbeat = progress_enabled().then(|| Heartbeat::start(Arc::clone(&progress)));
+    let gm = GridMetrics::arm();
 
     // Store consult happens before scheduling: hits never occupy a
     // worker, so a 95%-warm sweep spends its threads on the 5% delta.
@@ -255,6 +293,9 @@ fn run_grid_parallel_impl(
                     prefilled[idx] =
                         Some(GridCell { workload: spec.name, variant, seed: base.seed, result });
                     progress.cell_cached(idx);
+                    if let Some(gm) = &gm {
+                        gm.cached.inc();
+                    }
                 }
             }
         }
@@ -262,6 +303,7 @@ fn run_grid_parallel_impl(
 
     let progress_ref = &progress;
     let prefilled_ref = &prefilled;
+    let gm_ref = &gm;
     let jobs: Vec<_> = specs
         .iter()
         .enumerate()
@@ -270,6 +312,7 @@ fn run_grid_parallel_impl(
                 let idx = si * variants_n + vi;
                 let progress = Arc::clone(progress_ref);
                 let store = store.map(Arc::clone);
+                let gm = gm_ref.clone();
                 (idx, move || {
                     // An overlapping sweep may have produced (or started)
                     // this cell since the pre-schedule consult; the lease
@@ -280,6 +323,10 @@ fn run_grid_parallel_impl(
                         match s.lease(fp, &key) {
                             Lease::Hit(result) => {
                                 progress.cell_cached(idx);
+                                if let Some(gm) = &gm {
+                                    gm.cached.inc();
+                                    gm.queue_depth.sub(1);
+                                }
                                 return Ok(GridCell {
                                     workload: spec.name,
                                     variant,
@@ -291,6 +338,7 @@ fn run_grid_parallel_impl(
                         }
                     }
                     progress.cell_started(idx);
+                    let compute_start = Instant::now();
                     let cell = run_variant(spec, base, variant, len).map(|result| GridCell {
                         workload: spec.name,
                         variant,
@@ -300,13 +348,25 @@ fn run_grid_parallel_impl(
                     match &cell {
                         Ok(c) => {
                             progress.cell_finished(idx, true, c.result.events, c.result.host_nanos);
+                            if let Some(gm) = &gm {
+                                gm.computed.inc();
+                                gm.compute_nanos.record_elapsed(compute_start);
+                            }
                             if let Some(l) = lease {
                                 if let Err(e) = l.publish(&c.result) {
                                     eprintln!("cmpsim: store publish failed: {e}");
                                 }
                             }
                         }
-                        Err(_) => progress.cell_finished(idx, false, 0, 0),
+                        Err(_) => {
+                            progress.cell_finished(idx, false, 0, 0);
+                            if let Some(gm) = &gm {
+                                gm.failed.inc();
+                            }
+                        }
+                    }
+                    if let Some(gm) = &gm {
+                        gm.queue_depth.sub(1);
                     }
                     cell
                 })
@@ -315,6 +375,9 @@ fn run_grid_parallel_impl(
         .filter(|(idx, _)| prefilled_ref[*idx].is_none())
         .map(|(_, job)| job)
         .collect();
+    if let Some(gm) = &gm {
+        gm.queue_depth.add(jobs.len() as u64);
+    }
     let computed = cmpsim_harness::pool::run_indexed(threads, jobs);
     drop(heartbeat);
     // Merge computed cells back into row-major order around the store
@@ -466,6 +529,7 @@ where
     let workers = opts.supervisor.threads.max(1);
     let progress = Arc::new(GridProgress::new(n, workers.min(n.max(1))));
     let heartbeat = progress_enabled().then(|| Heartbeat::start(Arc::clone(&progress)));
+    let gm = GridMetrics::arm();
 
     let mut idx = 0usize;
     for spec in specs {
@@ -478,6 +542,9 @@ where
                     result: result.clone(),
                 }));
                 progress.cell_skipped(idx);
+                if let Some(gm) = &gm {
+                    gm.skipped.inc();
+                }
             } else if let Some(&failures) = quarantined.get(&(spec.name.to_string(), variant))
             {
                 out[idx] = Some(Err(CellError::Quarantined {
@@ -486,6 +553,9 @@ where
                     failures,
                 }));
                 progress.cell_skipped(idx);
+                if let Some(gm) = &gm {
+                    gm.quarantined.inc();
+                }
             } else if let Some(result) = opts
                 .store
                 .as_ref()
@@ -512,6 +582,9 @@ where
                     result,
                 }));
                 progress.cell_cached(idx);
+                if let Some(gm) = &gm {
+                    gm.cached.inc();
+                }
             } else {
                 job_slots.push((idx, spec.name, variant));
                 let spec = spec.clone();
@@ -520,6 +593,7 @@ where
                 let journal = journal.clone();
                 let store = opts.store.clone();
                 let progress = Arc::clone(&progress);
+                let gm = gm.clone();
                 jobs.push(move || -> Result<RunResult, SimError> {
                     // A sweep overlapping on the same store may have
                     // produced (or be producing) this cell; take a lease
@@ -530,6 +604,10 @@ where
                         match s.lease(fingerprint, &key) {
                             Lease::Hit(result) => {
                                 progress.cell_cached(idx);
+                                if let Some(gm) = &gm {
+                                    gm.cached.inc();
+                                    gm.queue_depth.sub(1);
+                                }
                                 if let Some(j) = &journal {
                                     let entry = JournalEntry {
                                         workload: spec.name.to_string(),
@@ -546,11 +624,37 @@ where
                             Lease::Compute(l) => lease = Some(l),
                         }
                     }
+                    // A supervised retry re-enters this body with the slot
+                    // already marked Running/Retrying: that re-entry is the
+                    // retry the `grid_retries` counter tallies.
+                    if let Some(gm) = &gm {
+                        if matches!(
+                            progress.state(idx),
+                            CellState::Running | CellState::Retrying
+                        ) {
+                            gm.retries.inc();
+                        }
+                    }
                     progress.cell_started(idx);
+                    let compute_start = Instant::now();
                     let result = cell_fn(&spec, &base, variant);
                     match &result {
-                        Ok(r) => progress.cell_finished(idx, true, r.events, r.host_nanos),
-                        Err(_) => progress.cell_finished(idx, false, 0, 0),
+                        Ok(r) => {
+                            progress.cell_finished(idx, true, r.events, r.host_nanos);
+                            if let Some(gm) = &gm {
+                                gm.computed.inc();
+                                gm.compute_nanos.record_elapsed(compute_start);
+                            }
+                        }
+                        Err(_) => {
+                            progress.cell_finished(idx, false, 0, 0);
+                            if let Some(gm) = &gm {
+                                gm.failed.inc();
+                            }
+                        }
+                    }
+                    if let Some(gm) = &gm {
+                        gm.queue_depth.sub(1);
                     }
                     let result = result?;
                     if let Some(l) = lease {
@@ -578,6 +682,9 @@ where
         }
     }
 
+    if let Some(gm) = &gm {
+        gm.queue_depth.add(jobs.len() as u64);
+    }
     let outcomes = run_supervised(&opts.supervisor, jobs);
     for ((slot, workload, variant), outcome) in job_slots.into_iter().zip(outcomes) {
         // Panicked/timed-out jobs never reached their own `cell_finished`;
@@ -589,6 +696,10 @@ where
             CellState::Done | CellState::Failed | CellState::Cached
         ) {
             progress.cell_finished(slot, false, 0, 0);
+            if let Some(gm) = &gm {
+                gm.failed.inc();
+                gm.queue_depth.sub(1);
+            }
         }
         let resolved = match outcome {
             JobOutcome::Ok(Ok(result)) => {

@@ -49,6 +49,7 @@ pub mod flatjson;
 pub mod journal;
 pub mod metrics;
 pub mod report;
+pub mod seallog;
 mod stats;
 pub mod store;
 mod system;

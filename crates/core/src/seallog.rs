@@ -1,0 +1,273 @@
+//! Crash-safe sealed JSONL artifact logs — the access-log/metrics
+//! counterpart of the store's on-disk discipline.
+//!
+//! A [`SealedLog`] is an append-only JSONL file whose header is written
+//! through a tempfile + atomic rename (exactly like store/journal
+//! headers, so no reader ever observes a half-written header) and whose
+//! records are flat-JSON lines sealed with the framing's FNV-1a-32
+//! `crc` ([`flatjson::seal`]), each appended as a single `write_all`.
+//! A writer killed mid-append therefore leaves at most one torn tail
+//! line, which [`read`] detects and drops — it can never leave a torn
+//! *artifact* that parses into wrong records.
+//!
+//! The serve daemon writes its structured access log through this
+//! (`--access-log` / `CMPSIM_ACCESS_LOG`), and `tests/metrics.rs` pins
+//! the recovery contract by re-reading the log after a simulated kill
+//! at every byte offset.
+
+use crate::flatjson::{self, JsonVal};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Log format version, written into every header.
+pub const LOG_VERSION: u64 = 1;
+
+fn header_line() -> String {
+    format!("{{\"cmpsim_log\":{LOG_VERSION}}}\n")
+}
+
+/// Whether `line` is a valid header for this log version.
+fn is_header(line: &str) -> bool {
+    flatjson::parse_flat(line)
+        .map(|kvs| {
+            kvs.iter().any(|(k, v)| k == "cmpsim_log" && v.as_u64() == Some(LOG_VERSION))
+        })
+        .unwrap_or(false)
+}
+
+/// Append-only writer for a sealed JSONL artifact log.
+#[derive(Debug)]
+pub struct SealedLog {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl SealedLog {
+    /// Opens the log at `path`, creating it (header via tempfile +
+    /// atomic rename) when missing. An existing file whose first line is
+    /// not a valid header is rotated aside as `<path>.stale` — never
+    /// deleted, mirroring the journal's stale policy — and a fresh log
+    /// is started.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<SealedLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let valid = match fs::read_to_string(&path) {
+            Ok(text) => text.lines().next().map(is_header).unwrap_or(false),
+            Err(_) => false,
+        };
+        if !valid {
+            if path.exists() {
+                let mut aside = path.as_os_str().to_os_string();
+                aside.push(".stale");
+                let _ = fs::rename(&path, PathBuf::from(aside));
+            }
+            // Header through a sibling tempfile and an atomic rename: a
+            // kill here leaves either no log or a complete header.
+            let mut tmp = path.as_os_str().to_os_string();
+            tmp.push(".tmp");
+            let tmp = PathBuf::from(tmp);
+            fs::write(&tmp, header_line())?;
+            fs::rename(&tmp, &path)?;
+        }
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(SealedLog { path, file })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Seals and appends one record. `open_body` is a flat-JSON object
+    /// body without its closing brace (the [`flatjson::seal`] contract),
+    /// e.g. `{"conn":1,"req":2,"status":"ok"`. The sealed line goes out
+    /// in one `write_all`, so a kill leaves at most a torn tail that
+    /// [`read`] drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write error.
+    pub fn append(&mut self, open_body: String) -> io::Result<()> {
+        let mut line = flatjson::seal(open_body);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())
+    }
+}
+
+/// What [`read`] recovered from a sealed log.
+#[derive(Debug, Default)]
+pub struct LogContents {
+    /// Every intact record, in append order, as parsed flat-JSON fields.
+    pub records: Vec<Vec<(String, JsonVal)>>,
+    /// Whether the file ended in an unterminated (torn) line — the
+    /// signature of a writer killed mid-append. The torn line is
+    /// dropped, not parsed.
+    pub torn_tail: bool,
+    /// Complete lines dropped for a failed seal or unparseable body
+    /// (in-place corruption, not a torn tail).
+    pub skipped: usize,
+}
+
+/// Reads a sealed log back, dropping the torn tail a killed writer may
+/// have left and any record whose seal fails. The header line is
+/// validated and not returned as a record.
+///
+/// # Errors
+///
+/// Propagates the file read; a missing or invalid *header* is reported
+/// as `InvalidData` (the file is not a sealed log).
+pub fn read(path: &Path) -> io::Result<LogContents> {
+    let text = fs::read_to_string(path)?;
+    let mut out = LogContents::default();
+    let mut saw_header = false;
+    for chunk in text.split_inclusive('\n') {
+        if !chunk.ends_with('\n') {
+            out.torn_tail = true;
+            break;
+        }
+        let line = chunk.trim_end_matches('\n');
+        if !saw_header {
+            if !is_header(line) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a sealed log (bad header)", path.display()),
+                ));
+            }
+            saw_header = true;
+            continue;
+        }
+        match flatjson::check_seal(line) {
+            Ok(body) => match flatjson::parse_flat(&format!("{body}}}")) {
+                Some(kvs) => out.records.push(kvs),
+                None => out.skipped += 1,
+            },
+            Err(_) => out.skipped += 1,
+        }
+    }
+    if !saw_header {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a sealed log (no header)", path.display()),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cmpsim-seallog-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("log.jsonl")
+    }
+
+    fn field(rec: &[(String, JsonVal)], key: &str) -> Option<JsonVal> {
+        rec.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    }
+
+    #[test]
+    fn append_then_read_roundtrips() {
+        let path = temp_log("roundtrip");
+        {
+            let mut log = SealedLog::open(&path).unwrap();
+            log.append("{\"req\":1,\"status\":\"ok\"".to_string()).unwrap();
+            log.append("{\"req\":2,\"status\":\"err\"".to_string()).unwrap();
+        }
+        // Reopen appends (same header, no rotation).
+        {
+            let mut log = SealedLog::open(&path).unwrap();
+            log.append("{\"req\":3,\"status\":\"ok\"".to_string()).unwrap();
+        }
+        let got = read(&path).unwrap();
+        assert_eq!(got.records.len(), 3);
+        assert!(!got.torn_tail);
+        assert_eq!(got.skipped, 0);
+        assert_eq!(field(&got.records[2], "req").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            field(&got.records[1], "status").unwrap().as_str(),
+            Some("err")
+        );
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn kill_at_every_byte_offset_recovers_a_clean_prefix() {
+        // The regression the tempfile+rename + sealed-append discipline
+        // exists for: simulate a writer killed after every possible byte
+        // of the file and require the reader to recover an intact prefix
+        // — never an error, never a half-parsed record.
+        let path = temp_log("kill");
+        {
+            let mut log = SealedLog::open(&path).unwrap();
+            for i in 0..4u64 {
+                log.append(format!("{{\"req\":{i},\"elapsed_us\":{}", 100 + i)).unwrap();
+            }
+        }
+        let full = fs::read(&path).unwrap();
+        let header_len = header_line().len();
+        let cut_path = path.with_extension("cut");
+        for cut in header_len..=full.len() {
+            fs::write(&cut_path, &full[..cut]).unwrap();
+            let got = read(&cut_path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(got.skipped, 0, "cut at {cut}: a torn tail must not count as corrupt");
+            assert_eq!(got.torn_tail, cut < full.len() && !full[..cut].ends_with(b"\n"));
+            // Every recovered record is one of the originals, in order.
+            for (i, rec) in got.records.iter().enumerate() {
+                assert_eq!(field(rec, "req").unwrap().as_u64(), Some(i as u64));
+            }
+        }
+        // Cut inside the header: the file is not (yet) a sealed log.
+        for cut in 0..header_len {
+            fs::write(&cut_path, &full[..cut]).unwrap();
+            assert!(read(&cut_path).is_err(), "cut at {cut} inside header must not parse");
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn inplace_corruption_is_skipped_not_served() {
+        let path = temp_log("corrupt");
+        {
+            let mut log = SealedLog::open(&path).unwrap();
+            log.append("{\"req\":1,\"cells\":32".to_string()).unwrap();
+            log.append("{\"req\":2,\"cells\":32".to_string()).unwrap();
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replacen("\"req\":1,\"cells\":32", "\"req\":1,\"cells\":99", 1))
+            .unwrap();
+        let got = read(&path).unwrap();
+        assert_eq!(got.skipped, 1, "flipped record fails its seal");
+        assert_eq!(got.records.len(), 1);
+        assert_eq!(field(&got.records[0], "req").unwrap().as_u64(), Some(2));
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn foreign_file_is_rotated_aside() {
+        let path = temp_log("foreign");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "not a log\n").unwrap();
+        let mut log = SealedLog::open(&path).unwrap();
+        log.append("{\"req\":1".to_string()).unwrap();
+        assert_eq!(read(&path).unwrap().records.len(), 1);
+        let stale = {
+            let mut s = path.as_os_str().to_os_string();
+            s.push(".stale");
+            PathBuf::from(s)
+        };
+        assert_eq!(fs::read_to_string(stale).unwrap(), "not a log\n", "preserved, not deleted");
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

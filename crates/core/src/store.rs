@@ -55,11 +55,13 @@
 use crate::config::Variant;
 use crate::journal::{self, JournalEntry};
 use crate::stats::RunResult;
+use cmpsim_harness::metrics::{self, Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Store format version, written into every data-file header. Bumping it
 /// orphans old files (they stop matching and are eventually evicted).
@@ -215,6 +217,43 @@ struct Inner {
     stats: StoreStats,
 }
 
+/// Global-registry handles mirroring [`StoreStats`], resolved once per
+/// store handle (`None` when `CMPSIM_METRICS=0`). Every bump is a
+/// relaxed atomic beside the existing `StoreStats` field update —
+/// observe-only, nothing feeds back into what a sweep computes.
+#[derive(Debug)]
+struct StoreMetrics {
+    hits: Counter,
+    misses: Counter,
+    published: Counter,
+    shared_waits: Counter,
+    corrupt_skipped: Counter,
+    evicted_files: Counter,
+    evicted_bytes: Counter,
+    resident_bytes: Gauge,
+    lease_wait_nanos: Histogram,
+}
+
+impl StoreMetrics {
+    fn arm() -> Option<StoreMetrics> {
+        if !metrics::enabled() {
+            return None;
+        }
+        let r = metrics::global();
+        Some(StoreMetrics {
+            hits: r.counter("store_hits"),
+            misses: r.counter("store_misses"),
+            published: r.counter("store_published"),
+            shared_waits: r.counter("store_shared_waits"),
+            corrupt_skipped: r.counter("store_corrupt_skipped"),
+            evicted_files: r.counter("store_evicted_files"),
+            evicted_bytes: r.counter("store_evicted_bytes"),
+            resident_bytes: r.gauge("store_resident_bytes"),
+            lease_wait_nanos: r.histogram("store_lease_wait_nanos"),
+        })
+    }
+}
+
 /// A persistent, content-addressed store of experiment results. See the
 /// module docs for layout, keying, eviction and the concurrency model.
 #[derive(Debug)]
@@ -223,6 +262,7 @@ pub struct ResultStore {
     max_bytes: u64,
     inner: Mutex<Inner>,
     published_cond: Condvar,
+    metrics: Option<StoreMetrics>,
 }
 
 /// Default store directory: `CMPSIM_STORE`, else the sibling of the
@@ -265,6 +305,7 @@ impl ResultStore {
             max_bytes: max_bytes.max(1),
             inner: Mutex::new(Inner::default()),
             published_cond: Condvar::new(),
+            metrics: StoreMetrics::arm(),
         };
         {
             let mut inner = store.lock();
@@ -283,6 +324,29 @@ impl ResultStore {
         self.lock().stats
     }
 
+    /// Total bytes of fingerprint data files currently on disk, scanned
+    /// fresh. Also refreshes the `store_resident_bytes` gauge, so a
+    /// metrics snapshot taken right after reflects reality even when no
+    /// eviction pass has run yet.
+    pub fn resident_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(hex) = name.strip_suffix(".jsonl") else { continue };
+                if u64::from_str_radix(hex, 16).is_err() {
+                    continue;
+                }
+                total += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.resident_bytes.set(total);
+        }
+        total
+    }
+
     /// Non-blocking lookup: the stored result for `(fp, key)`, if any.
     /// Counts a hit when found; a probe miss is not tallied (the lease
     /// that follows it counts the compute — see [`StoreStats::misses`]).
@@ -291,6 +355,9 @@ impl ResultStore {
         let found = self.lookup(&mut inner, fp, key);
         if found.is_some() {
             inner.stats.hits += 1;
+            if let Some(m) = &self.metrics {
+                m.hits.inc();
+            }
         }
         found
     }
@@ -310,17 +377,29 @@ impl ResultStore {
     /// sweeps share a store and still compute every cell exactly once.
     pub fn lease(self: &Arc<Self>, fp: u64, key: &CellKey) -> Lease {
         let mut inner = self.lock();
-        let mut waited = false;
+        // Wait time is measured from the first block to the handoff —
+        // the `store_lease_wait_nanos` histogram is how lease contention
+        // between overlapping sweeps shows up in a metrics snapshot.
+        let mut wait_start: Option<Instant> = None;
         loop {
             if let Some(r) = self.lookup(&mut inner, fp, key) {
                 inner.stats.hits += 1;
-                if waited {
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
+                if wait_start.is_some() {
                     inner.stats.shared_waits += 1;
+                    if let Some(m) = &self.metrics {
+                        m.shared_waits.inc();
+                    }
+                }
+                if let (Some(m), Some(t0)) = (&self.metrics, wait_start) {
+                    m.lease_wait_nanos.record_elapsed(t0);
                 }
                 return Lease::Hit(r);
             }
             if inner.pending.contains_key(&(fp, key.clone())) {
-                waited = true;
+                wait_start.get_or_insert_with(Instant::now);
                 inner = self
                     .published_cond
                     .wait(inner)
@@ -329,6 +408,14 @@ impl ResultStore {
             }
             inner.pending.insert((fp, key.clone()), ());
             inner.stats.misses += 1;
+            if let Some(m) = &self.metrics {
+                m.misses.inc();
+                if let Some(t0) = wait_start {
+                    // Waited on a claim that was abandoned; the compute
+                    // handed off to us.
+                    m.lease_wait_nanos.record_elapsed(t0);
+                }
+            }
             return Lease::Compute(ComputeLease {
                 store: Arc::clone(self),
                 fp,
@@ -419,11 +506,17 @@ impl ResultStore {
                 // rebuilt index). Drop the lie; the cell recomputes.
                 shard.offsets.remove(key);
                 inner.stats.corrupt_skipped += 1;
+                if let Some(m) = &self.metrics {
+                    m.corrupt_skipped.inc();
+                }
                 None
             }
             Err(_) => {
                 shard.offsets.remove(key);
                 inner.stats.corrupt_skipped += 1;
+                if let Some(m) = &self.metrics {
+                    m.corrupt_skipped.inc();
+                }
                 None
             }
         }
@@ -457,6 +550,9 @@ impl ResultStore {
                 let _ = fs::rename(&data_path, PathBuf::from(aside));
                 let _ = fs::remove_file(self.index_path(fp));
                 inner.stats.corrupt_skipped += 1;
+                if let Some(m) = &self.metrics {
+                    m.corrupt_skipped.inc();
+                }
                 inner.shards.insert(fp, shard);
                 return;
             }
@@ -489,6 +585,9 @@ impl ResultStore {
             for (key, offset, len, bad) in tail {
                 if bad {
                     inner.stats.corrupt_skipped += 1;
+                    if let Some(m) = &self.metrics {
+                        m.corrupt_skipped.inc();
+                    }
                     continue;
                 }
                 idx_lines.push_str(&encode_index_line(&key, offset, len));
@@ -549,6 +648,9 @@ impl ResultStore {
         shard.offsets.insert(key.clone(), (offset, len));
         shard.decoded.insert(key.clone(), result.clone());
         inner.stats.published += 1;
+        if let Some(m) = &self.metrics {
+            m.published.inc();
+        }
         self.touch(inner, fp);
         self.evict_to_budget(inner, fp);
         Ok(())
@@ -600,6 +702,9 @@ impl ResultStore {
             sizes.push((fp, bytes));
         }
         if total <= self.max_bytes {
+            if let Some(m) = &self.metrics {
+                m.resident_bytes.set(total);
+            }
             return;
         }
         // Oldest logical touch first; untouched files (no lru record,
@@ -618,7 +723,14 @@ impl ResultStore {
             inner.touched.remove(&fp);
             inner.stats.evicted_files += 1;
             inner.stats.evicted_bytes += bytes;
+            if let Some(m) = &self.metrics {
+                m.evicted_files.inc();
+                m.evicted_bytes.add(bytes);
+            }
             total = total.saturating_sub(bytes);
+        }
+        if let Some(m) = &self.metrics {
+            m.resident_bytes.set(total);
         }
         // Compact the LRU file to the surviving fingerprints.
         let mut compact = String::new();

@@ -32,6 +32,11 @@
 //!   series artifacts under `target/telemetry/`, and a stderr heartbeat
 //!   for live grid progress (`CMPSIM_PROGRESS`). Pure measurement: none
 //!   of it feeds back into simulation results.
+//! - [`metrics`] — service-layer metrics: atomic counters/gauges,
+//!   log-bucketed latency histograms with mergeable snapshots and
+//!   deterministic quantiles, a named registry, and flat-JSON /
+//!   Prometheus export (`CMPSIM_METRICS=0` disarms the recording
+//!   sites). Observe-only, like [`telemetry`].
 //! - [`chaos`] — deterministic fault-injection planning (`CMPSIM_CHAOS`):
 //!   a seeded [`chaos::FaultPlan`] whose per-site decisions are stateless
 //!   hashes of `(seed, site, cycle, key)`, so armed runs stay
@@ -47,6 +52,7 @@ pub mod chaos;
 pub mod codec_conformance;
 pub mod fastmap;
 pub mod gen;
+pub mod metrics;
 pub mod pool;
 pub mod prop;
 mod rng;

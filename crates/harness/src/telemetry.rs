@@ -432,6 +432,36 @@ impl GridProgress {
         line.push_str(&format!(" | {elapsed:.0}s elapsed"));
         line
     }
+
+    /// The terminal 100% line, printed exactly when every cell has
+    /// finished: unlike the rolling [`status_line`](Self::status_line) it
+    /// opens with `grid complete:` and carries the totals (cells, store
+    /// hits, failures, engine events, wall time), so a truncated log —
+    /// one that ends on a rolling `grid N/M done` line — is
+    /// distinguishable from a run that actually finished.
+    pub fn final_line(&self) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let cached = self.cached();
+        let mut line = format!("grid complete: {}/{} cells", done + failed, self.states.len());
+        if cached > 0 {
+            line.push_str(&format!(" ({cached} from store)"));
+        }
+        if failed > 0 {
+            line.push_str(&format!(", {failed} failed"));
+        }
+        let events = self.events.load(Ordering::Relaxed);
+        let nanos = self.cell_nanos.load(Ordering::Relaxed);
+        if events > 0 {
+            line.push_str(&format!(" | {:.1}M events", events as f64 / 1e6));
+        }
+        if nanos > 0 {
+            let evps = events as f64 * 1e9 / nanos as f64;
+            line.push_str(&format!(" | {:.2} Mev/s/worker", evps / 1e6));
+        }
+        line.push_str(&format!(" | {:.1}s elapsed", self.started.elapsed().as_secs_f64()));
+        line
+    }
 }
 
 /// Background renderer: prints [`GridProgress::status_line`] to stderr a
@@ -464,7 +494,14 @@ impl Heartbeat {
                     std::thread::sleep(Duration::from_millis(200));
                 }
                 if wrote {
-                    eprintln!("\r\x1b[2K{}", progress.status_line());
+                    // Completed sweeps close with the distinguishable
+                    // 100% line; interrupted ones leave a rolling line,
+                    // so a truncated log is recognizable as such.
+                    if progress.is_complete() {
+                        eprintln!("\r\x1b[2K{}", progress.final_line());
+                    } else {
+                        eprintln!("\r\x1b[2K{}", progress.status_line());
+                    }
                 }
             })
             .ok();
@@ -603,6 +640,25 @@ mod tests {
         assert!(line.contains("1 running"), "{line}");
         p.cell_finished(3, true, 0, 0);
         assert!(p.is_complete());
+    }
+
+    #[test]
+    fn final_line_is_distinguishable_and_totalled() {
+        let p = GridProgress::new(3, 2);
+        p.cell_started(0);
+        p.cell_finished(0, true, 2_000_000, 1_000_000);
+        p.cell_cached(1);
+        p.cell_started(2);
+        p.cell_finished(2, false, 0, 0);
+        assert!(p.is_complete());
+        let line = p.final_line();
+        assert!(line.starts_with("grid complete: 3/3 cells"), "{line}");
+        assert!(line.contains("(1 from store)"), "{line}");
+        assert!(line.contains("1 failed"), "{line}");
+        assert!(line.contains("2.0M events"), "{line}");
+        assert!(line.contains("elapsed"), "{line}");
+        // The rolling line never claims completion.
+        assert!(!p.status_line().contains("complete"), "{}", p.status_line());
     }
 
     #[test]

@@ -122,18 +122,66 @@ test -s target/bench/store_warm.json || {
 echo "== serve daemon smoke (two sweeps on stdin share the store) =="
 # Two identical sweep requests through the daemon: the first computes,
 # the second must be served entirely from the store (0 misses) with a
-# 100% hit rate and no corrupt records.
+# 100% hit rate and no corrupt records. A {"metrics":1} query on the
+# same stream must answer one flat-JSON registry snapshot covering all
+# three instrumented layers (store_*, grid_*, serve_*), and the access
+# log must come back as a sealed JSONL artifact.
+access_log=$(mktemp -u)
 serve_out=$(printf '%s\n' \
     '{"sweep":"ci-cold","workloads":"apsi,mgrid","variants":"base,pf","cores":2,"warmup":2000,"measure":8000,"threads":2}' \
     '{"sweep":"ci-warm","workloads":"apsi,mgrid","variants":"base,pf","cores":2,"warmup":2000,"measure":8000,"threads":2}' \
-    | CMPSIM_STORE="$store_dir" cargo run -q --release --offline -p cmpsim-bench --bin serve)
+    '{"metrics":1}' \
+    | CMPSIM_STORE="$store_dir" CMPSIM_ACCESS_LOG="$access_log" \
+        cargo run -q --release --offline -p cmpsim-bench --bin serve)
 echo "$serve_out" | grep '"sweep":"ci-warm","done":1' \
         | grep '"store_misses":0' | grep -q '"corrupt_skipped":0' || {
     echo "serve daemon warm sweep was not served from the store:" >&2
     echo "$serve_out" >&2
     exit 1
 }
+metrics_line=$(echo "$serve_out" | grep '^{"metrics":1')
+for key in store_hits store_misses store_resident_bytes grid_cells_computed \
+        grid_cells_cached serve_requests serve_sweeps serve_request_nanos_p99; do
+    echo "$metrics_line" | grep -q "\"$key\":" || {
+        echo "serve metrics snapshot is missing \"$key\":" >&2
+        echo "$metrics_line" >&2
+        exit 1
+    }
+done
+echo "$metrics_line" | grep -q '"serve_sweeps":2' || {
+    echo "serve metrics snapshot did not count both sweeps: $metrics_line" >&2
+    exit 1
+}
+head -1 "$access_log" | grep -q '{"cmpsim_log":1}' || {
+    echo "serve access log is not a sealed JSONL artifact" >&2
+    exit 1
+}
+rm -f "$access_log"
 rm -rf "$store_dir"
+
+echo "== metrics gates: armed inertness + accounting + export schema =="
+# The same digest gate as above, re-run with service metrics explicitly
+# armed: counters and latency histograms are observe-only, so the golden
+# must not move. metrics_gate then asserts the registry agrees with
+# StoreStats, the warm pass is all cache, the flat-JSON snapshot parses
+# under the repo framing with every required key, and the Prometheus
+# export is well-formed; it also writes the tracked
+# target/bench/service_metrics.json artifact. ops_dashboard --check
+# drives the same registry through the live dashboard renderer.
+CMPSIM_METRICS=1 cargo run -q --release --offline --example grid_digest
+metrics_store=$(mktemp -d)
+CMPSIM_STORE="$metrics_store" CMPSIM_METRICS=1 \
+    cargo run -q --release --offline --example metrics_gate
+rm -rf "$metrics_store"
+test -s target/bench/service_metrics.json || {
+    echo "service metrics bench artifact missing" >&2
+    exit 1
+}
+cp target/bench/service_metrics.json BENCH_service_metrics.json
+dashboard_store=$(mktemp -d)
+CMPSIM_STORE="$dashboard_store" \
+    cargo run -q --release --offline --example ops_dashboard -- --check > /dev/null
+rm -rf "$dashboard_store"
 
 echo "== hermeticity gate: no registry dependencies =="
 # A registry dependency in a manifest is one whose spec carries a
